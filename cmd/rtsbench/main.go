@@ -1,0 +1,142 @@
+// Command rtsbench regenerates the paper's tables and figures on a
+// simulated cluster.
+//
+// Usage:
+//
+//	rtsbench -experiment table1                 # Table I
+//	rtsbench -experiment fig4                   # Fig. 4 (low contention)
+//	rtsbench -experiment fig5                   # Fig. 5 (high contention)
+//	rtsbench -experiment speedup                # Fig. 6 summary
+//	rtsbench -experiment all
+//
+// Flags tune scale: -nodes, -maxnodes, -duration, -workers, -objects,
+// -delayscale, -clthreshold, -adaptive, -bench.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dstm/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | speedup | all")
+		nodes      = flag.Int("nodes", 8, "node count for table1/speedup")
+		maxNodes   = flag.Int("maxnodes", 16, "largest node count in fig4/fig5 sweeps")
+		duration   = flag.Duration("duration", 250*time.Millisecond, "measurement window per cell")
+		workers    = flag.Int("workers", 8, "concurrent transactions per node")
+		objects    = flag.Int("objects", 8, "shared objects per node (paper: 5-10)")
+		delayScale = flag.Float64("delayscale", 0.01, "scale applied to the 1-50ms link band")
+		threshold  = flag.Int("clthreshold", 3, "RTS contention-level threshold")
+		adaptive   = flag.Bool("adaptive", false, "adapt the CL threshold at runtime")
+		flat       = flag.Bool("flat", false, "use flat nesting instead of closed nesting")
+		benchList  = flag.String("bench", "", "comma-separated benchmark subset (vacation,bank,ll,rbtree,bst,dht)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	base := harness.Config{
+		Nodes:          *nodes,
+		WorkersPerNode: *workers,
+		Duration:       *duration,
+		ObjectsPerNode: *objects,
+		DelayScale:     *delayScale,
+		CLThreshold:    *threshold,
+		AdaptiveCL:     *adaptive,
+		FlatNesting:    *flat,
+		Seed:           *seed,
+	}
+	benches := parseBenches(*benchList)
+	ctx := context.Background()
+
+	var err error
+	switch *experiment {
+	case "table1":
+		err = runTable1(ctx, base, benches)
+	case "fig4":
+		err = runFigure(ctx, base, benches, harness.Low, *maxNodes)
+	case "fig5":
+		err = runFigure(ctx, base, benches, harness.High, *maxNodes)
+	case "speedup":
+		err = runSpeedup(ctx, base, benches)
+	case "all":
+		if err = runTable1(ctx, base, benches); err == nil {
+			if err = runFigure(ctx, base, benches, harness.Low, *maxNodes); err == nil {
+				if err = runFigure(ctx, base, benches, harness.High, *maxNodes); err == nil {
+					err = runSpeedup(ctx, base, benches)
+				}
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseBenches(s string) []harness.BenchmarkKind {
+	if s == "" {
+		return harness.Benchmarks
+	}
+	var out []harness.BenchmarkKind
+	for _, part := range strings.Split(s, ",") {
+		out = append(out, harness.BenchmarkKind(strings.TrimSpace(part)))
+	}
+	return out
+}
+
+func runTable1(ctx context.Context, base harness.Config, benches []harness.BenchmarkKind) error {
+	tbl, err := harness.RunTable1(ctx, base, benches)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tbl.Format())
+	return nil
+}
+
+func sweepNodeCounts(maxNodes int) []int {
+	var out []int
+	step := maxNodes / 4
+	if step < 1 {
+		step = 1
+	}
+	for n := step; n <= maxNodes; n += step {
+		if n >= 2 {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{2}
+	}
+	return out
+}
+
+func runFigure(ctx context.Context, base harness.Config, benches []harness.BenchmarkKind,
+	cont harness.Contention, maxNodes int) error {
+	counts := sweepNodeCounts(maxNodes)
+	for _, b := range benches {
+		sw, err := harness.RunThroughputSweep(ctx, base, b, cont, counts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sw.Format())
+	}
+	return nil
+}
+
+func runSpeedup(ctx context.Context, base harness.Config, benches []harness.BenchmarkKind) error {
+	rows, err := harness.RunSpeedupSummary(ctx, base, benches)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.FormatSpeedup(rows))
+	return nil
+}

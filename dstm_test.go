@@ -1,0 +1,81 @@
+package dstm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dstm/internal/object"
+	"dstm/internal/stm"
+)
+
+type counter struct{ N int64 }
+
+func (c *counter) Copy() object.Value { d := *c; return &d }
+
+func TestLocalClusterDefaults(t *testing.T) {
+	c := NewLocalCluster(ClusterOptions{})
+	defer c.Close()
+	if c.Size() != 4 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	if got := c.Runtime(0).Policy().Name(); got != "RTS" {
+		t.Fatalf("default policy = %q", got)
+	}
+	if len(c.Runtimes()) != 4 {
+		t.Fatalf("runtimes = %d", len(c.Runtimes()))
+	}
+}
+
+func TestLocalClusterSchedulers(t *testing.T) {
+	for kind, want := range map[SchedulerKind]string{
+		RTS: "RTS", TFA: "TFA", TFABackoff: "TFA+Backoff",
+	} {
+		c := NewLocalCluster(ClusterOptions{Nodes: 2, Scheduler: kind})
+		if got := c.Runtime(0).Policy().Name(); got != want {
+			t.Fatalf("policy for %s = %q", kind, got)
+		}
+		c.Close()
+	}
+}
+
+func TestLocalClusterEndToEnd(t *testing.T) {
+	c := NewLocalCluster(ClusterOptions{
+		Nodes:        3,
+		LatencyMin:   time.Millisecond,
+		LatencyMax:   5 * time.Millisecond,
+		LatencyScale: 0.01,
+	})
+	defer c.Close()
+
+	ctx := context.Background()
+	if err := c.Runtime(0).CreateRoot(ctx, "c", &counter{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.Size(); i++ {
+		err := c.Runtime(i).Atomic(ctx, "inc", func(tx *stm.Txn) error {
+			return tx.Update(ctx, "c", func(v object.Value) object.Value {
+				v.(*counter).N++
+				return v
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got int64
+	err := c.Runtime(1).Atomic(ctx, "read", func(tx *stm.Txn) error {
+		v, err := tx.Read(ctx, "c")
+		if err != nil {
+			return err
+		}
+		got = v.(*counter).N
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+}

@@ -1,0 +1,3 @@
+module dstm
+
+go 1.22

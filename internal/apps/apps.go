@@ -1,0 +1,29 @@
+// Package apps defines the common shape of the paper's six benchmark
+// applications (Vacation, Bank, Linked-List, BST, RB-Tree, DHT), each
+// implemented as closed-nested transactional programs over the D-STM API.
+package apps
+
+import (
+	"context"
+	"math/rand"
+
+	"dstm/internal/stm"
+)
+
+// Benchmark is one distributed application under test.
+type Benchmark interface {
+	// Name is the benchmark's display name ("Bank", "DHT", ...).
+	Name() string
+
+	// Setup seeds the shared objects across the cluster's runtimes
+	// (paper: five to ten shared objects per node).
+	Setup(ctx context.Context, rts []*stm.Runtime) error
+
+	// Op executes one transaction on rt. read selects a read-only
+	// operation (the paper's contention knob: 90 % reads = low contention,
+	// 10 % = high). rng is per-worker.
+	Op(ctx context.Context, rt *stm.Runtime, rng *rand.Rand, read bool) error
+
+	// Check validates the application's global invariants after a run.
+	Check(ctx context.Context, rt *stm.Runtime) error
+}

@@ -1,0 +1,178 @@
+// Package bank implements the paper's Bank monetary benchmark: accounts
+// spread across the cluster, write transactions performing batches of
+// transfers (each transfer a closed-nested transaction), and read
+// transactions auditing account subsets. The global invariant is
+// conservation of money.
+package bank
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"dstm/internal/object"
+	"dstm/internal/stm"
+)
+
+// InitialBalance is each account's starting balance.
+const InitialBalance int64 = 1_000
+
+// Account is the shared object: one bank account.
+type Account struct {
+	Balance int64
+}
+
+// Copy implements object.Value.
+func (a *Account) Copy() object.Value { c := *a; return &c }
+
+func init() { object.Register(&Account{}) }
+
+// Options configures the benchmark.
+type Options struct {
+	// AccountsPerNode is the number of accounts seeded at each node
+	// (paper: 5–10 shared objects per node). 0 means 8.
+	AccountsPerNode int
+	// MaxNested bounds the random number of nested transfers per write
+	// transaction. 0 means 4.
+	MaxNested int
+	// AuditSpan is how many accounts a read transaction sums. 0 means 4.
+	AuditSpan int
+}
+
+// Bank is the benchmark instance.
+type Bank struct {
+	opts     Options
+	accounts int
+}
+
+// New returns a Bank benchmark.
+func New(opts Options) *Bank {
+	if opts.AccountsPerNode <= 0 {
+		opts.AccountsPerNode = 8
+	}
+	if opts.MaxNested <= 0 {
+		opts.MaxNested = 4
+	}
+	if opts.AuditSpan <= 0 {
+		opts.AuditSpan = 4
+	}
+	return &Bank{opts: opts}
+}
+
+// Name implements apps.Benchmark.
+func (b *Bank) Name() string { return "Bank" }
+
+// AccountID returns the object ID of account i.
+func AccountID(i int) object.ID { return object.ID(fmt.Sprintf("bank/acct/%d", i)) }
+
+// Setup implements apps.Benchmark: account i lives on node i mod N.
+func (b *Bank) Setup(ctx context.Context, rts []*stm.Runtime) error {
+	b.accounts = b.opts.AccountsPerNode * len(rts)
+	for i := 0; i < b.accounts; i++ {
+		rt := rts[i%len(rts)]
+		if err := rt.CreateRoot(ctx, AccountID(i), &Account{Balance: InitialBalance}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Accounts returns the number of seeded accounts.
+func (b *Bank) Accounts() int { return b.accounts }
+
+// Op implements apps.Benchmark.
+func (b *Bank) Op(ctx context.Context, rt *stm.Runtime, rng *rand.Rand, read bool) error {
+	if read {
+		return b.audit(ctx, rt, rng)
+	}
+	return b.batchTransfer(ctx, rt, rng)
+}
+
+// batchTransfer is the write transaction: a parent enclosing a random
+// number of nested transfers, composing independently atomic transfers
+// into one larger atomic action.
+func (b *Bank) batchTransfer(ctx context.Context, rt *stm.Runtime, rng *rand.Rand) error {
+	n := 1 + rng.Intn(b.opts.MaxNested)
+	transfers := make([][2]int, n)
+	for i := range transfers {
+		from := rng.Intn(b.accounts)
+		to := rng.Intn(b.accounts)
+		for to == from {
+			to = (to + 1) % b.accounts
+		}
+		transfers[i] = [2]int{from, to}
+	}
+	const amount = 7
+	return rt.Atomic(ctx, "bank/batch", func(tx *stm.Txn) error {
+		for _, t := range transfers {
+			from, to := AccountID(t[0]), AccountID(t[1])
+			if err := tx.Atomic(ctx, "bank/transfer", func(c *stm.Txn) error {
+				if err := c.Update(ctx, from, func(v object.Value) object.Value {
+					v.(*Account).Balance -= amount
+					return v
+				}); err != nil {
+					return err
+				}
+				return c.Update(ctx, to, func(v object.Value) object.Value {
+					v.(*Account).Balance += amount
+					return v
+				})
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// audit is the read transaction: sum a contiguous window of accounts, each
+// read inside a nested transaction.
+func (b *Bank) audit(ctx context.Context, rt *stm.Runtime, rng *rand.Rand) error {
+	start := rng.Intn(b.accounts)
+	span := b.opts.AuditSpan
+	return rt.Atomic(ctx, "bank/audit", func(tx *stm.Txn) error {
+		var sum int64
+		return tx.Atomic(ctx, "bank/audit/sum", func(c *stm.Txn) error {
+			sum = 0
+			for i := 0; i < span; i++ {
+				v, err := c.Read(ctx, AccountID((start+i)%b.accounts))
+				if err != nil {
+					return err
+				}
+				sum += v.(*Account).Balance
+			}
+			_ = sum
+			return nil
+		})
+	})
+}
+
+// TotalBalance sums every account in one transaction.
+func (b *Bank) TotalBalance(ctx context.Context, rt *stm.Runtime) (int64, error) {
+	var total int64
+	err := rt.Atomic(ctx, "bank/total", func(tx *stm.Txn) error {
+		total = 0
+		for i := 0; i < b.accounts; i++ {
+			v, err := tx.Read(ctx, AccountID(i))
+			if err != nil {
+				return err
+			}
+			total += v.(*Account).Balance
+		}
+		return nil
+	})
+	return total, err
+}
+
+// Check implements apps.Benchmark: money is conserved.
+func (b *Bank) Check(ctx context.Context, rt *stm.Runtime) error {
+	total, err := b.TotalBalance(ctx, rt)
+	if err != nil {
+		return err
+	}
+	want := int64(b.accounts) * InitialBalance
+	if total != want {
+		return fmt.Errorf("bank: total balance %d, want %d (money not conserved)", total, want)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package bank
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dstm/internal/testutil"
+)
+
+func TestSetupSeedsAccounts(t *testing.T) {
+	rts := testutil.Cluster(t, 3, nil, nil)
+	b := New(Options{AccountsPerNode: 4})
+	ctx := context.Background()
+	if err := b.Setup(ctx, rts); err != nil {
+		t.Fatal(err)
+	}
+	if b.Accounts() != 12 {
+		t.Fatalf("accounts = %d", b.Accounts())
+	}
+	total, err := b.TotalBalance(ctx, rts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 12*InitialBalance {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestTransfersConserveMoney(t *testing.T) {
+	rts := testutil.Cluster(t, 2, nil, nil)
+	b := New(Options{AccountsPerNode: 3})
+	ctx := context.Background()
+	if err := b.Setup(ctx, rts); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30; i++ {
+		if err := b.Op(ctx, rts[i%2], rng, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Check(ctx, rts[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOpRuns(t *testing.T) {
+	rts := testutil.Cluster(t, 2, nil, nil)
+	b := New(Options{AccountsPerNode: 3})
+	ctx := context.Background()
+	if err := b.Setup(ctx, rts); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10; i++ {
+		if err := b.Op(ctx, rts[i%2], rng, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reads never change balances.
+	if err := b.Check(ctx, rts[1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentTransfersConserveMoney(t *testing.T) {
+	const nodes = 3
+	rts := testutil.Cluster(t, nodes, nil, nil)
+	b := New(Options{AccountsPerNode: 2, MaxNested: 3})
+	ctx := context.Background()
+	if err := b.Setup(ctx, rts); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nodes)
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(n)))
+			for i := 0; i < 15; i++ {
+				if err := b.Op(ctx, rts[n], rng, i%4 == 0); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := b.Check(ctx, rts[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	b := New(Options{})
+	if b.opts.AccountsPerNode <= 0 || b.opts.MaxNested <= 0 || b.opts.AuditSpan <= 0 {
+		t.Fatalf("defaults not applied: %+v", b.opts)
+	}
+	if b.Name() != "Bank" {
+		t.Fatalf("name %q", b.Name())
+	}
+}

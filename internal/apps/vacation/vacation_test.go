@@ -1,0 +1,150 @@
+package vacation
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dstm/internal/stm"
+	"dstm/internal/testutil"
+)
+
+func setupVac(t *testing.T, nodes int, opts Options) (*Vacation, []*stm.Runtime) {
+	t.Helper()
+	rts := testutil.Cluster(t, nodes, nil, nil)
+	v := New(opts)
+	if err := v.Setup(context.Background(), rts); err != nil {
+		t.Fatal(err)
+	}
+	return v, rts
+}
+
+func TestReservationClaimsInventory(t *testing.T) {
+	v, rts := setupVac(t, 2, Options{ResourcesPerKindPerNode: 2, CustomersPerNode: 1})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(1))
+
+	for i := 0; i < 10; i++ {
+		if err := v.MakeReservation(ctx, rts[i%2], rng, i%v.customers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Check(ctx, rts[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Someone must actually hold reservations.
+	var held int
+	err := rts[0].Atomic(ctx, "count", func(tx *stm.Txn) error {
+		held = 0
+		for i := 0; i < v.customers; i++ {
+			val, err := tx.Read(ctx, CustomerID(i))
+			if err != nil {
+				return err
+			}
+			held += len(val.(*Customer).Reservations)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held == 0 {
+		t.Fatal("10 reservation transactions booked nothing")
+	}
+}
+
+func TestCancelReleasesEverything(t *testing.T) {
+	v, rts := setupVac(t, 2, Options{ResourcesPerKindPerNode: 2, CustomersPerNode: 1})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(2))
+
+	for i := 0; i < 6; i++ {
+		if err := v.MakeReservation(ctx, rts[0], rng, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.CancelCustomer(ctx, rts[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	// All inventory restored for customer 0's bookings; invariant holds.
+	if err := v.Check(ctx, rts[0]); err != nil {
+		t.Fatal(err)
+	}
+	err := rts[0].Atomic(ctx, "verify", func(tx *stm.Txn) error {
+		val, err := tx.Read(ctx, CustomerID(0))
+		if err != nil {
+			return err
+		}
+		if n := len(val.(*Customer).Reservations); n != 0 {
+			t.Fatalf("customer still holds %d reservations", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMixedOpsKeepInvariant(t *testing.T) {
+	const nodes = 3
+	v, rts := setupVac(t, nodes, Options{ResourcesPerKindPerNode: 2, CustomersPerNode: 2, UnitsPerResource: 20})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nodes)
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(400 + n)))
+			for i := 0; i < 15; i++ {
+				if err := v.Op(ctx, rts[n], rng, i%4 == 0); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := v.Check(ctx, rts[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvailabilityNeverNegative(t *testing.T) {
+	// Tiny inventory, many reservations: availability must clamp at 0
+	// (reservation skips the kind), never go negative.
+	v, rts := setupVac(t, 2, Options{ResourcesPerKindPerNode: 1, CustomersPerNode: 1, UnitsPerResource: 2, ScanSpan: 2})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		if err := v.MakeReservation(ctx, rts[i%2], rng, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Check(ctx, rts[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultsAndNames(t *testing.T) {
+	v := New(Options{})
+	if v.opts.ResourcesPerKindPerNode <= 0 || v.opts.CustomersPerNode <= 0 ||
+		v.opts.UnitsPerResource <= 0 || v.opts.ScanSpan <= 0 {
+		t.Fatalf("defaults: %+v", v.opts)
+	}
+	if v.Name() != "Vacation" {
+		t.Fatalf("name %q", v.Name())
+	}
+	if Car.String() != "car" || Flight.String() != "flight" || Room.String() != "room" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(9).String() != "unknown" {
+		t.Fatal("unknown kind name")
+	}
+}

@@ -1,0 +1,126 @@
+// Package bloom implements a standard Bloom filter over 64-bit keys.
+//
+// RTS uses Bloom filters inside its transaction stats table: each table
+// entry holds a Bloom-filter representation of the most recent successful
+// commit times of a transaction profile (paper §III-B). The filter offers
+// the usual guarantees: Add/Contains with no false negatives and a tunable
+// false-positive rate.
+package bloom
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Filter is a Bloom filter over uint64 keys. Create one with New; the zero
+// value is not usable.
+type Filter struct {
+	bits  []uint64
+	nbits uint64
+	k     int
+	n     uint64 // number of Add calls, for estimation
+}
+
+// New returns a filter sized for expectedItems with the given target
+// false-positive rate (0 < fpRate < 1). Out-of-range arguments are clamped
+// to sane minimums so New never fails.
+func New(expectedItems int, fpRate float64) *Filter {
+	if expectedItems < 1 {
+		expectedItems = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		fpRate = 0.01
+	}
+	// Standard sizing: m = -n ln p / (ln 2)^2, k = m/n ln 2.
+	m := uint64(math.Ceil(-float64(expectedItems) * math.Log(fpRate) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(expectedItems) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	words := (m + 63) / 64
+	return &Filter{
+		bits:  make([]uint64, words),
+		nbits: words * 64,
+		k:     k,
+	}
+}
+
+// hash2 derives two independent 64-bit hashes from the key using an
+// FNV-style mix; the k probe positions use Kirsch-Mitzenmacher double
+// hashing h1 + i*h2.
+func hash2(key uint64) (uint64, uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], key)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h1 := uint64(offset64)
+	for _, c := range b {
+		h1 ^= uint64(c)
+		h1 *= prime64
+	}
+	// Second hash: xorshift-multiply mix of h1 (never returns 0 as stride).
+	h2 := h1
+	h2 ^= h2 >> 33
+	h2 *= 0xff51afd7ed558ccd
+	h2 ^= h2 >> 33
+	h2 |= 1
+	return h1, h2
+}
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key uint64) {
+	h1, h2 := hash2(key)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.n++
+}
+
+// Contains reports whether key may have been added. False positives are
+// possible; false negatives are not.
+func (f *Filter) Contains(key uint64) bool {
+	h1, h2 := hash2(key)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of Add calls made on the filter.
+func (f *Filter) Count() uint64 { return f.n }
+
+// Bits returns the total number of bits in the filter.
+func (f *Filter) Bits() uint64 { return f.nbits }
+
+// Hashes returns the number of hash probes per operation.
+func (f *Filter) Hashes() int { return f.k }
+
+// Reset clears the filter in place, preserving its sizing.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.n = 0
+}
+
+// EstimatedFPRate returns the expected false-positive probability for the
+// current fill level: (1 - e^{-kn/m})^k.
+func (f *Filter) EstimatedFPRate() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	exp := -float64(f.k) * float64(f.n) / float64(f.nbits)
+	return math.Pow(1-math.Exp(exp), float64(f.k))
+}

@@ -1,0 +1,153 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for key %d", k)
+		}
+	}
+}
+
+func TestFalsePositiveRateBounded(t *testing.T) {
+	f := New(1000, 0.01)
+	rng := rand.New(rand.NewSource(2))
+	added := make(map[uint64]bool, 1000)
+	for len(added) < 1000 {
+		k := rng.Uint64()
+		added[k] = true
+		f.Add(k)
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		k := rng.Uint64()
+		if added[k] {
+			continue
+		}
+		if f.Contains(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// Target 1%; allow generous slack (5x) so the test is not flaky.
+	if rate > 0.05 {
+		t.Fatalf("false positive rate %.4f too high", rate)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := New(100, 0.01)
+	for i := uint64(0); i < 1000; i++ {
+		if f.Contains(i) {
+			t.Fatalf("empty filter claims to contain %d", i)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(10, 0.01)
+	f.Add(7)
+	if !f.Contains(7) {
+		t.Fatal("filter lost key before reset")
+	}
+	f.Reset()
+	if f.Contains(7) {
+		t.Fatal("filter still contains key after reset")
+	}
+	if f.Count() != 0 {
+		t.Fatalf("Count() = %d after reset", f.Count())
+	}
+}
+
+func TestNewClampsArguments(t *testing.T) {
+	cases := []struct {
+		items int
+		rate  float64
+	}{
+		{-5, 0.01},
+		{0, 0.01},
+		{10, 0},
+		{10, 1.5},
+		{10, -1},
+	}
+	for _, c := range cases {
+		f := New(c.items, c.rate)
+		if f.Bits() < 64 || f.Hashes() < 1 {
+			t.Fatalf("New(%d, %f) produced degenerate filter: %d bits %d hashes",
+				c.items, c.rate, f.Bits(), f.Hashes())
+		}
+		f.Add(1)
+		if !f.Contains(1) {
+			t.Fatalf("New(%d, %f): lost key", c.items, c.rate)
+		}
+	}
+}
+
+// Property: anything added is always found (no false negatives), for
+// arbitrary key sets.
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		fl := New(len(keys)+1, 0.05)
+		for _, k := range keys {
+			fl.Add(k)
+		}
+		for _, k := range keys {
+			if !fl.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: estimated FP rate is within [0, 1] and grows with fill.
+func TestEstimatedFPRateMonotone(t *testing.T) {
+	fl := New(100, 0.01)
+	prev := fl.EstimatedFPRate()
+	if prev != 0 {
+		t.Fatalf("empty filter FP estimate = %f, want 0", prev)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		fl.Add(rng.Uint64())
+		cur := fl.EstimatedFPRate()
+		if cur < prev-1e-12 || cur > 1 {
+			t.Fatalf("FP estimate not monotone in fill: prev=%f cur=%f", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(100000, 0.01)
+	for i := 0; i < b.N; i++ {
+		f.Add(uint64(i))
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	f := New(100000, 0.01)
+	for i := 0; i < 100000; i++ {
+		f.Add(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(uint64(i))
+	}
+}

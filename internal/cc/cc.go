@@ -1,0 +1,216 @@
+// Package cc implements the distributed cache-coherence (CC) protocol of
+// the dataflow D-STM model: a home-directory object locator.
+//
+// Every object has a home node, chosen by hashing its ID over the cluster.
+// The home tracks the object's single current owner (the node holding the
+// one writable copy). The two properties the paper requires of the CC
+// protocol hold by construction:
+//
+//  1. a read/write request reaches a node holding a valid copy in a finite
+//     number of hops (requester → home → owner), and
+//  2. at any time only one copy of the object is registered as writable.
+//
+// Ownership moves to the committing transaction's node on every write
+// commit; the committer updates the home. Requesters keep a local owner
+// hint cache; a stale hint is detected by the owner ("not owner" reply) and
+// refreshed from the home.
+package cc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"dstm/internal/cluster"
+	"dstm/internal/object"
+	"dstm/internal/transport"
+)
+
+// Message kinds 1–9 are reserved for the directory protocol.
+const (
+	KindLookup   transport.Kind = 1
+	KindRegister transport.Kind = 2
+	KindUpdate   transport.Kind = 3
+)
+
+// lookupReq asks a home node for the owner of an object.
+type lookupReq struct{ Oid object.ID }
+
+// lookupResp carries the owner; Known is false for unregistered objects.
+type lookupResp struct {
+	Owner transport.NodeID
+	Known bool
+}
+
+// registerReq registers a newly created object with its home.
+type registerReq struct {
+	Oid   object.ID
+	Owner transport.NodeID
+}
+
+// updateReq moves ownership to a new node (commit-time migration).
+type updateReq struct {
+	Oid   object.ID
+	Owner transport.NodeID
+}
+
+func init() {
+	transport.RegisterPayload(lookupReq{})
+	transport.RegisterPayload(lookupResp{})
+	transport.RegisterPayload(registerReq{})
+	transport.RegisterPayload(updateReq{})
+}
+
+// HomeOf returns the home (directory) node of an object in a cluster of
+// size n.
+func HomeOf(id object.ID, n int) transport.NodeID {
+	if n <= 0 {
+		return 0
+	}
+	return transport.NodeID(id.Hash() % uint64(n))
+}
+
+// ErrUnknownObject is reported (as a RemoteError) when the home has no
+// record of the object.
+var ErrUnknownObject = fmt.Errorf("cc: unknown object")
+
+// Service is one node's directory shard plus its client-side locator with
+// owner-hint cache.
+type Service struct {
+	ep   *cluster.Endpoint
+	size int
+
+	mu     sync.Mutex
+	owners map[object.ID]transport.NodeID // directory shard: objects homed here
+	hints  map[object.ID]transport.NodeID // locator cache: last known owners
+}
+
+// NewService creates the directory service for this node and registers its
+// protocol handlers on ep. size is the total number of nodes.
+func NewService(ep *cluster.Endpoint, size int) *Service {
+	s := &Service{
+		ep:     ep,
+		size:   size,
+		owners: make(map[object.ID]transport.NodeID),
+		hints:  make(map[object.ID]transport.NodeID),
+	}
+	ep.Handle(KindLookup, s.handleLookup)
+	ep.Handle(KindRegister, s.handleRegister)
+	ep.Handle(KindUpdate, s.handleUpdate)
+	return s
+}
+
+func (s *Service) handleLookup(_ transport.NodeID, payload any) (any, error) {
+	req, ok := payload.(lookupReq)
+	if !ok {
+		return nil, fmt.Errorf("cc: bad lookup payload %T", payload)
+	}
+	s.mu.Lock()
+	owner, known := s.owners[req.Oid]
+	s.mu.Unlock()
+	return lookupResp{Owner: owner, Known: known}, nil
+}
+
+func (s *Service) handleRegister(_ transport.NodeID, payload any) (any, error) {
+	req, ok := payload.(registerReq)
+	if !ok {
+		return nil, fmt.Errorf("cc: bad register payload %T", payload)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, dup := s.owners[req.Oid]; dup {
+		return nil, fmt.Errorf("cc: object %q already registered to node %d", req.Oid, existing)
+	}
+	s.owners[req.Oid] = req.Owner
+	return lookupResp{Owner: req.Owner, Known: true}, nil
+}
+
+func (s *Service) handleUpdate(_ transport.NodeID, payload any) (any, error) {
+	req, ok := payload.(updateReq)
+	if !ok {
+		return nil, fmt.Errorf("cc: bad update payload %T", payload)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, known := s.owners[req.Oid]; !known {
+		return nil, fmt.Errorf("cc: update for unregistered object %q", req.Oid)
+	}
+	s.owners[req.Oid] = req.Owner
+	return lookupResp{Owner: req.Owner, Known: true}, nil
+}
+
+// Home returns the home node of id in this cluster.
+func (s *Service) Home(id object.ID) transport.NodeID { return HomeOf(id, s.size) }
+
+// Locate returns the current owner of id, consulting the local hint cache
+// first and falling back to the home directory.
+func (s *Service) Locate(ctx context.Context, id object.ID) (transport.NodeID, error) {
+	s.mu.Lock()
+	if owner, ok := s.hints[id]; ok {
+		s.mu.Unlock()
+		return owner, nil
+	}
+	s.mu.Unlock()
+	return s.locateFresh(ctx, id)
+}
+
+// locateFresh queries the home, bypassing the hint cache, and refreshes the
+// hint on success.
+func (s *Service) locateFresh(ctx context.Context, id object.ID) (transport.NodeID, error) {
+	body, err := s.ep.Call(ctx, s.Home(id), KindLookup, lookupReq{Oid: id})
+	if err != nil {
+		return 0, err
+	}
+	resp, ok := body.(lookupResp)
+	if !ok {
+		return 0, fmt.Errorf("cc: bad lookup reply %T", body)
+	}
+	if !resp.Known {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownObject, id)
+	}
+	s.mu.Lock()
+	s.hints[id] = resp.Owner
+	s.mu.Unlock()
+	return resp.Owner, nil
+}
+
+// InvalidateHint drops the cached owner for id (after a "not owner" reply).
+func (s *Service) InvalidateHint(id object.ID) {
+	s.mu.Lock()
+	delete(s.hints, id)
+	s.mu.Unlock()
+}
+
+// Relocate invalidates the hint and performs a fresh home lookup.
+func (s *Service) Relocate(ctx context.Context, id object.ID) (transport.NodeID, error) {
+	s.InvalidateHint(id)
+	return s.locateFresh(ctx, id)
+}
+
+// NoteOwner records an authoritative owner hint learned from the protocol
+// (e.g. an object push naming its new owner).
+func (s *Service) NoteOwner(id object.ID, owner transport.NodeID) {
+	s.mu.Lock()
+	s.hints[id] = owner
+	s.mu.Unlock()
+}
+
+// Register announces a newly created object owned by owner to its home.
+func (s *Service) Register(ctx context.Context, id object.ID, owner transport.NodeID) error {
+	_, err := s.ep.Call(ctx, s.Home(id), KindRegister, registerReq{Oid: id, Owner: owner})
+	if err != nil {
+		return err
+	}
+	s.NoteOwner(id, owner)
+	return nil
+}
+
+// UpdateOwner records commit-time ownership migration at the home.
+func (s *Service) UpdateOwner(ctx context.Context, id object.ID, owner transport.NodeID) error {
+	_, err := s.ep.Call(ctx, s.Home(id), KindUpdate, updateReq{Oid: id, Owner: owner})
+	if err != nil {
+		return err
+	}
+	s.NoteOwner(id, owner)
+	return nil
+}

@@ -1,0 +1,189 @@
+package cc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dstm/internal/cluster"
+	"dstm/internal/object"
+	"dstm/internal/transport"
+	"dstm/internal/vclock"
+)
+
+// newCluster builds n directory services over an in-memory network.
+func newCluster(t *testing.T, n int) []*Service {
+	t.Helper()
+	net := transport.NewNetwork(nil)
+	t.Cleanup(func() { net.Close() })
+	svcs := make([]*Service, n)
+	for i := 0; i < n; i++ {
+		ep := cluster.NewEndpoint(net.Endpoint(transport.NodeID(i)), &vclock.Clock{})
+		svcs[i] = NewService(ep, n)
+	}
+	return svcs
+}
+
+func TestHomeOfInRangeAndStable(t *testing.T) {
+	f := func(s string, n uint8) bool {
+		size := int(n%16) + 1
+		h := HomeOf(object.ID(s), size)
+		return h >= 0 && int(h) < size && h == HomeOf(object.ID(s), size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomeOfDegenerateSize(t *testing.T) {
+	if h := HomeOf("x", 0); h != 0 {
+		t.Fatalf("HomeOf with size 0 = %d", h)
+	}
+}
+
+func TestRegisterAndLocate(t *testing.T) {
+	svcs := newCluster(t, 4)
+	ctx := context.Background()
+
+	if err := svcs[1].Register(ctx, "obj/a", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Every node must resolve the same owner.
+	for i, s := range svcs {
+		owner, err := s.Locate(ctx, "obj/a")
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		if owner != 1 {
+			t.Fatalf("node %d located owner %d, want 1", i, owner)
+		}
+	}
+}
+
+func TestLocateUnknown(t *testing.T) {
+	svcs := newCluster(t, 3)
+	_, err := svcs[0].Locate(context.Background(), "missing")
+	if !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("err = %v, want ErrUnknownObject", err)
+	}
+}
+
+func TestRegisterConflict(t *testing.T) {
+	svcs := newCluster(t, 3)
+	ctx := context.Background()
+	if err := svcs[0].Register(ctx, "obj/x", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Registration is strict: even the same owner cannot re-register (a
+	// duplicate create must fail).
+	if err := svcs[0].Register(ctx, "obj/x", 0); err == nil {
+		t.Fatal("same-owner re-register succeeded; creates must be strict")
+	}
+	// Different owner: rejected.
+	if err := svcs[1].Register(ctx, "obj/x", 1); err == nil {
+		t.Fatal("conflicting register succeeded")
+	}
+}
+
+func TestUpdateOwnerAndHints(t *testing.T) {
+	svcs := newCluster(t, 4)
+	ctx := context.Background()
+	if err := svcs[2].Register(ctx, "obj/m", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 caches the owner hint.
+	if owner, err := svcs[0].Locate(ctx, "obj/m"); err != nil || owner != 2 {
+		t.Fatalf("locate: %d, %v", owner, err)
+	}
+	// Ownership migrates to node 3.
+	if err := svcs[3].UpdateOwner(ctx, "obj/m", 3); err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 still has the stale hint...
+	if owner, _ := svcs[0].Locate(ctx, "obj/m"); owner != 2 {
+		t.Fatalf("expected stale hint 2, got %d", owner)
+	}
+	// ...until it relocates.
+	owner, err := svcs[0].Relocate(ctx, "obj/m")
+	if err != nil || owner != 3 {
+		t.Fatalf("relocate: %d, %v", owner, err)
+	}
+	// And the refreshed hint sticks.
+	if owner, _ := svcs[0].Locate(ctx, "obj/m"); owner != 3 {
+		t.Fatalf("hint not refreshed: %d", owner)
+	}
+}
+
+func TestUpdateUnregistered(t *testing.T) {
+	svcs := newCluster(t, 3)
+	if err := svcs[0].UpdateOwner(context.Background(), "ghost", 1); err == nil {
+		t.Fatal("UpdateOwner on unregistered object succeeded")
+	}
+}
+
+func TestNoteOwnerShortCircuitsLookup(t *testing.T) {
+	svcs := newCluster(t, 3)
+	ctx := context.Background()
+	// No registration at all; a pushed hint must be honoured locally.
+	svcs[0].NoteOwner("pushed", 2)
+	owner, err := svcs[0].Locate(ctx, "pushed")
+	if err != nil || owner != 2 {
+		t.Fatalf("locate with noted owner: %d, %v", owner, err)
+	}
+	// Invalidate drops it; the home has no record, so the lookup fails.
+	svcs[0].InvalidateHint("pushed")
+	if _, err := svcs[0].Locate(ctx, "pushed"); err == nil {
+		t.Fatal("locate after invalidate should hit the home and fail")
+	}
+}
+
+func TestConcurrentRegistersDistinctObjects(t *testing.T) {
+	const n = 5
+	svcs := newCluster(t, n)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			owner := transport.NodeID(i % n)
+			oid := object.ID(fmt.Sprintf("obj/%d", i))
+			if err := svcs[owner].Register(ctx, oid, owner); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		oid := object.ID(fmt.Sprintf("obj/%d", i))
+		owner, err := svcs[0].Locate(ctx, oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner != transport.NodeID(i%n) {
+			t.Fatalf("obj/%d owner = %d, want %d", i, owner, i%n)
+		}
+	}
+}
+
+func TestHomeDistribution(t *testing.T) {
+	// Homes should spread across the cluster, not pile on one node.
+	const n = 8
+	counts := make([]int, n)
+	for i := 0; i < 800; i++ {
+		counts[HomeOf(object.ID(fmt.Sprintf("k/%d", i)), n)]++
+	}
+	for node, c := range counts {
+		if c == 0 {
+			t.Fatalf("node %d got no homes out of 800", node)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package cluster layers a request/response (RPC) discipline over the raw
+// transport: correlation IDs, per-kind handler dispatch, remote error
+// propagation, and TFA clock piggybacking (every outgoing message carries
+// the node's clock; every incoming message merges into it).
+//
+// One Endpoint exists per node. Owner-side protocol handlers (directory,
+// object retrieval, commit) register themselves by message Kind.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dstm/internal/transport"
+	"dstm/internal/vclock"
+)
+
+// RequestHandler serves one RPC kind: it receives the sender and payload
+// and returns the reply payload or an error (propagated to the caller as a
+// *RemoteError). Handlers run on their own goroutine and may block.
+type RequestHandler func(from transport.NodeID, payload any) (any, error)
+
+// NotifyHandler serves a one-way message kind. It is invoked synchronously
+// on the delivery path and must return quickly.
+type NotifyHandler func(from transport.NodeID, payload any)
+
+// RemoteError wraps an error string returned by a remote handler.
+type RemoteError struct {
+	Node transport.NodeID
+	Msg  string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote error from node %d: %s", e.Node, e.Msg)
+}
+
+// ErrEndpointClosed is returned by calls issued after Close.
+var ErrEndpointClosed = errors.New("cluster: endpoint closed")
+
+// DefaultCallTimeout bounds RPCs whose context carries no deadline, so a
+// lost message cannot wedge a transaction forever.
+const DefaultCallTimeout = 30 * time.Second
+
+// envelope is the wire format for replies.
+type envelope struct {
+	Err  string
+	Body any
+}
+
+func init() {
+	transport.RegisterPayload(envelope{})
+}
+
+// Endpoint is one node's RPC attachment.
+type Endpoint struct {
+	tr    transport.Transport
+	clock *vclock.Clock
+
+	corr atomic.Uint64
+
+	mu       sync.Mutex
+	pending  map[uint64]chan *transport.Message
+	handlers map[transport.Kind]RequestHandler
+	notifies map[transport.Kind]NotifyHandler
+	closed   bool
+}
+
+// NewEndpoint wraps tr. The clock is shared with the node's STM runtime so
+// messaging and commits advance the same TFA clock.
+func NewEndpoint(tr transport.Transport, clock *vclock.Clock) *Endpoint {
+	e := &Endpoint{
+		tr:       tr,
+		clock:    clock,
+		pending:  make(map[uint64]chan *transport.Message),
+		handlers: make(map[transport.Kind]RequestHandler),
+		notifies: make(map[transport.Kind]NotifyHandler),
+	}
+	tr.SetHandler(e.onMessage)
+	return e
+}
+
+// Self returns this endpoint's node ID.
+func (e *Endpoint) Self() transport.NodeID { return e.tr.Self() }
+
+// Clock returns the node's TFA clock.
+func (e *Endpoint) Clock() *vclock.Clock { return e.clock }
+
+// Handle registers the RPC handler for kind. It panics on duplicate
+// registration — kinds are a static protocol, so a duplicate is a bug.
+func (e *Endpoint) Handle(kind transport.Kind, h RequestHandler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.handlers[kind]; dup {
+		panic(fmt.Sprintf("cluster: duplicate handler for %v", kind))
+	}
+	e.handlers[kind] = h
+}
+
+// HandleNotify registers the one-way handler for kind.
+func (e *Endpoint) HandleNotify(kind transport.Kind, h NotifyHandler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.notifies[kind]; dup {
+		panic(fmt.Sprintf("cluster: duplicate notify handler for %v", kind))
+	}
+	e.notifies[kind] = h
+}
+
+// Call performs a blocking RPC to node `to`. It returns the remote reply
+// body, a *RemoteError if the remote handler failed, or a local error
+// (context cancellation, closed endpoint, transport failure).
+func (e *Endpoint) Call(ctx context.Context, to transport.NodeID, kind transport.Kind, payload any) (any, error) {
+	corr := e.corr.Add(1)
+	ch := make(chan *transport.Message, 1)
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrEndpointClosed
+	}
+	e.pending[corr] = ch
+	e.mu.Unlock()
+
+	defer func() {
+		e.mu.Lock()
+		delete(e.pending, corr)
+		e.mu.Unlock()
+	}()
+
+	err := e.tr.Send(&transport.Message{
+		From:    e.Self(),
+		To:      to,
+		Clock:   e.clock.Now(),
+		Kind:    kind,
+		Corr:    corr,
+		Payload: payload,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: call %v to node %d: %w", kind, to, err)
+	}
+
+	if _, has := ctx.Deadline(); !has {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultCallTimeout)
+		defer cancel()
+	}
+
+	select {
+	case m := <-ch:
+		env, ok := m.Payload.(envelope)
+		if !ok {
+			return nil, fmt.Errorf("cluster: malformed reply for %v from node %d", kind, to)
+		}
+		if env.Err != "" {
+			return nil, &RemoteError{Node: to, Msg: env.Err}
+		}
+		return env.Body, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Notify sends a one-way message (no reply expected).
+func (e *Endpoint) Notify(to transport.NodeID, kind transport.Kind, payload any) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrEndpointClosed
+	}
+	return e.tr.Send(&transport.Message{
+		From:    e.Self(),
+		To:      to,
+		Clock:   e.clock.Now(),
+		Kind:    kind,
+		Payload: payload,
+	})
+}
+
+func (e *Endpoint) onMessage(m *transport.Message) {
+	e.clock.Merge(m.Clock)
+
+	if m.IsReply {
+		e.mu.Lock()
+		ch := e.pending[m.Corr]
+		e.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- m:
+			default: // duplicate reply; drop
+			}
+		}
+		return
+	}
+
+	if m.Corr != 0 {
+		e.mu.Lock()
+		h := e.handlers[m.Kind]
+		e.mu.Unlock()
+		if h == nil {
+			e.reply(m, envelope{Err: fmt.Sprintf("no handler for %v", m.Kind)})
+			return
+		}
+		// Requests run on their own goroutine so a slow handler never
+		// blocks the delivery path (per-link FIFO goroutine in memnet).
+		go func() {
+			body, err := h(m.From, m.Payload)
+			env := envelope{Body: body}
+			if err != nil {
+				env = envelope{Err: err.Error()}
+			}
+			e.reply(m, env)
+		}()
+		return
+	}
+
+	e.mu.Lock()
+	h := e.notifies[m.Kind]
+	e.mu.Unlock()
+	if h != nil {
+		h(m.From, m.Payload)
+	}
+}
+
+func (e *Endpoint) reply(req *transport.Message, env envelope) {
+	// Best effort: the caller times out if the reply cannot be sent.
+	_ = e.tr.Send(&transport.Message{
+		From:    e.Self(),
+		To:      req.From,
+		Clock:   e.clock.Now(),
+		Kind:    req.Kind,
+		Corr:    req.Corr,
+		IsReply: true,
+		Payload: env,
+	})
+}
+
+// Close shuts the endpoint down and fails all pending calls.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	return e.tr.Close()
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync"
+)
+
+// adaptiveThreshold tunes the CL threshold at runtime. The paper (§III-B,
+// §IV-A): "The threshold of a low or high CL relies on the number of nodes,
+// transactions, and shared objects. Thus, the CL's threshold is adaptively
+// determined … at a certain point of the CL's threshold, we observe a peak
+// point of transactional throughput."
+//
+// The controller hill-climbs that peak: it watches the commit ratio over
+// fixed-size batches of outcomes and keeps moving the threshold in the
+// current direction while the ratio improves, reversing direction when it
+// degrades.
+type adaptiveThreshold struct {
+	mu        sync.Mutex
+	value     int
+	min, max  int
+	batch     int
+	dir       int // +1 or -1
+	commits   int
+	total     int
+	prevRatio float64
+	started   bool
+}
+
+// newAdaptiveThreshold starts at initial, clamped to [min, max]; batch is
+// the number of outcomes per adjustment step.
+func newAdaptiveThreshold(initial, min, max, batch int) *adaptiveThreshold {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	if initial < min {
+		initial = min
+	}
+	if initial > max {
+		initial = max
+	}
+	if batch < 1 {
+		batch = 64
+	}
+	return &adaptiveThreshold{value: initial, min: min, max: max, batch: batch, dir: +1}
+}
+
+// Value returns the current threshold.
+func (a *adaptiveThreshold) Value() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.value
+}
+
+// Feedback reports one transaction outcome. Every batch outcomes the
+// controller takes a hill-climbing step.
+func (a *adaptiveThreshold) Feedback(committed bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.total++
+	if committed {
+		a.commits++
+	}
+	if a.total < a.batch {
+		return
+	}
+	ratio := float64(a.commits) / float64(a.total)
+	a.commits, a.total = 0, 0
+	if a.started && ratio < a.prevRatio {
+		a.dir = -a.dir
+	}
+	a.started = true
+	a.prevRatio = ratio
+	a.value += a.dir
+	if a.value < a.min {
+		a.value = a.min
+		a.dir = +1
+	}
+	if a.value > a.max {
+		a.value = a.max
+		a.dir = -1
+	}
+}

@@ -1,0 +1,331 @@
+// Package harness runs the paper's experiments: it assembles a simulated
+// cluster (nodes, latency model, scheduler), drives one of the six
+// benchmarks with a configurable read ratio and per-node concurrency,
+// and aggregates transaction metrics into throughput and abort-rate
+// results — the raw material for Table I and Figures 4–6.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dstm/internal/apps"
+	"dstm/internal/apps/bank"
+	"dstm/internal/apps/bst"
+	"dstm/internal/apps/dht"
+	"dstm/internal/apps/list"
+	"dstm/internal/apps/rbtree"
+	"dstm/internal/apps/vacation"
+	"dstm/internal/cluster"
+	"dstm/internal/core"
+	"dstm/internal/sched"
+	"dstm/internal/stats"
+	"dstm/internal/stm"
+	"dstm/internal/transport"
+	"dstm/internal/vclock"
+)
+
+// Scheduler selects the transactional scheduler under test.
+type Scheduler string
+
+// The three schedulers the paper compares.
+const (
+	SchedRTS     Scheduler = "RTS"
+	SchedTFA     Scheduler = "TFA"
+	SchedBackoff Scheduler = "TFA+Backoff"
+)
+
+// Schedulers lists them in the paper's reporting order.
+var Schedulers = []Scheduler{SchedRTS, SchedTFA, SchedBackoff}
+
+// BenchmarkKind selects the application.
+type BenchmarkKind string
+
+// The six benchmarks, in the paper's reporting order.
+const (
+	BenchVacation BenchmarkKind = "vacation"
+	BenchBank     BenchmarkKind = "bank"
+	BenchList     BenchmarkKind = "ll"
+	BenchRBTree   BenchmarkKind = "rbtree"
+	BenchBST      BenchmarkKind = "bst"
+	BenchDHT      BenchmarkKind = "dht"
+)
+
+// Benchmarks lists all six in reporting order.
+var Benchmarks = []BenchmarkKind{BenchVacation, BenchBank, BenchList, BenchRBTree, BenchBST, BenchDHT}
+
+// Config is one experiment cell.
+type Config struct {
+	Nodes          int
+	Scheduler      Scheduler
+	Benchmark      BenchmarkKind
+	ReadRatio      float64       // 0.9 = paper's low contention, 0.1 = high
+	WorkersPerNode int           // concurrent transactions per node
+	Duration       time.Duration // measurement window
+	ObjectsPerNode int           // paper: 5–10
+
+	// Link latency band (paper: 1–50 ms) and the scale factor applied to
+	// it so sweeps run quickly on one machine.
+	LatMin, LatMax time.Duration
+	DelayScale     float64
+
+	// RTS knobs.
+	CLThreshold int
+	AdaptiveCL  bool
+	CLWindow    time.Duration
+
+	// FlatNesting inlines inner atomic blocks into their parents (the
+	// paper's flat-nesting contrast case) instead of closed nesting.
+	FlatNesting bool
+
+	Seed int64
+}
+
+// withDefaults fills zero fields with usable values.
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = SchedRTS
+	}
+	if c.Benchmark == "" {
+		c.Benchmark = BenchBank
+	}
+	if c.ReadRatio <= 0 {
+		c.ReadRatio = 0.9
+	}
+	if c.WorkersPerNode <= 0 {
+		c.WorkersPerNode = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 200 * time.Millisecond
+	}
+	if c.ObjectsPerNode <= 0 {
+		c.ObjectsPerNode = 8
+	}
+	if c.LatMin <= 0 {
+		c.LatMin = time.Millisecond
+	}
+	if c.LatMax <= 0 {
+		c.LatMax = 50 * time.Millisecond
+	}
+	if c.DelayScale <= 0 {
+		// 1–50 ms compressed to 10–500 µs.
+		c.DelayScale = 0.01
+	}
+	if c.CLThreshold <= 0 {
+		c.CLThreshold = core.DefaultCLThreshold
+	}
+	if c.CLWindow <= 0 {
+		// The CL window should span a handful of transaction lifetimes.
+		// Transaction lifetimes scale with the link delays, so derive the
+		// window from the same scale factor (500 ms at full scale).
+		c.CLWindow = scaled(500*time.Millisecond, c.DelayScale)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// scaled applies the latency scale factor to a full-scale duration,
+// clamping at 1 ms so timers stay meaningful.
+func scaled(d time.Duration, scale float64) time.Duration {
+	out := time.Duration(float64(d) * scale)
+	if out < time.Millisecond {
+		out = time.Millisecond
+	}
+	return out
+}
+
+// Result aggregates one experiment cell.
+type Result struct {
+	Config   Config
+	Elapsed  time.Duration
+	Metrics  stm.MetricsSnapshot
+	CheckErr error
+}
+
+// Throughput is committed top-level transactions per second, cluster-wide.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Metrics.Commits) / r.Elapsed.Seconds()
+}
+
+// NestedAbortRate is Table I's metric.
+func (r Result) NestedAbortRate() float64 { return r.Metrics.NestedAbortRate() }
+
+// newBenchmark builds the application for a config.
+func newBenchmark(cfg Config) (apps.Benchmark, error) {
+	switch cfg.Benchmark {
+	case BenchBank:
+		return bank.New(bank.Options{AccountsPerNode: cfg.ObjectsPerNode}), nil
+	case BenchDHT:
+		return dht.New(dht.Options{BucketsPerNode: cfg.ObjectsPerNode}), nil
+	case BenchList:
+		kr := cfg.ObjectsPerNode * cfg.Nodes
+		return list.New(list.Options{KeyRange: kr, InitialSize: kr / 2}), nil
+	case BenchBST:
+		kr := 2 * cfg.ObjectsPerNode * cfg.Nodes
+		return bst.New(bst.Options{KeyRange: kr, InitialSize: kr / 2}), nil
+	case BenchRBTree:
+		kr := 2 * cfg.ObjectsPerNode * cfg.Nodes
+		return rbtree.New(rbtree.Options{KeyRange: kr, InitialSize: kr / 2}), nil
+	case BenchVacation:
+		per := cfg.ObjectsPerNode / 4
+		if per < 1 {
+			per = 1
+		}
+		return vacation.New(vacation.Options{
+			ResourcesPerKindPerNode: per,
+			CustomersPerNode:        per,
+		}), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown benchmark %q", cfg.Benchmark)
+	}
+}
+
+// newPolicy builds the scheduler for one node.
+func newPolicy(cfg Config, st *stats.Table) (sched.Policy, error) {
+	switch cfg.Scheduler {
+	case SchedTFA:
+		return sched.NewTFA(), nil
+	case SchedBackoff:
+		// The stall cap must stay proportional to the (scaled) link
+		// delays: the paper's baseline backs off on the order of a few
+		// transaction lifetimes, not wall-clock constants.
+		return sched.NewBackoff(st, scaled(500*time.Millisecond, cfg.DelayScale)), nil
+	case SchedRTS:
+		return core.New(core.Options{
+			CLThreshold: cfg.CLThreshold,
+			Adaptive:    cfg.AdaptiveCL,
+			CLWindow:    cfg.CLWindow,
+		}), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown scheduler %q", cfg.Scheduler)
+	}
+}
+
+// Run executes one experiment cell and returns its aggregated result.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+
+	lat := transport.MetricLatency{
+		Min:   cfg.LatMin,
+		Max:   cfg.LatMax,
+		Scale: cfg.DelayScale,
+		Seed:  uint64(cfg.Seed),
+	}
+	net := transport.NewNetwork(lat)
+	defer net.Close()
+
+	rts := make([]*stm.Runtime, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		st := stats.NewTable(time.Millisecond)
+		pol, err := newPolicy(cfg, st)
+		if err != nil {
+			return Result{}, err
+		}
+		ep := cluster.NewEndpoint(net.Endpoint(transport.NodeID(i)), &vclock.Clock{})
+		rts[i] = stm.NewRuntime(ep, cfg.Nodes, pol, st)
+		if cfg.FlatNesting {
+			rts[i].SetNesting(stm.FlatNesting)
+		}
+	}
+
+	bench, err := newBenchmark(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := bench.Setup(ctx, rts); err != nil {
+		return Result{}, fmt.Errorf("harness: setup: %w", err)
+	}
+
+	// Drop setup noise from the counters by sampling a baseline after
+	// setup and subtracting later — setup runs transactions too.
+	baseline := aggregate(rts)
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	start := time.Now()
+	for n := 0; n < cfg.Nodes; n++ {
+		for w := 0; w < cfg.WorkersPerNode; w++ {
+			wg.Add(1)
+			go func(rt *stm.Runtime, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for runCtx.Err() == nil {
+					read := rng.Float64() < cfg.ReadRatio
+					if err := bench.Op(runCtx, rt, rng, read); err != nil {
+						if isShutdownErr(err) {
+							return
+						}
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}(rts[n], cfg.Seed+int64(n*1000+w))
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return Result{}, fmt.Errorf("harness: worker failed: %w", firstErr)
+	}
+
+	m := aggregate(rts)
+	subtract(&m, baseline)
+
+	res := Result{Config: cfg, Elapsed: elapsed, Metrics: m}
+	// Bound the invariant check so a broken cluster state reports an error
+	// instead of retrying forever.
+	checkCtx, checkCancel := context.WithTimeout(ctx, 30*time.Second)
+	defer checkCancel()
+	res.CheckErr = bench.Check(checkCtx, rts[0])
+	return res, nil
+}
+
+func isShutdownErr(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, cluster.ErrEndpointClosed) ||
+		errors.Is(err, transport.ErrClosed)
+}
+
+func aggregate(rts []*stm.Runtime) stm.MetricsSnapshot {
+	var total stm.MetricsSnapshot
+	for _, rt := range rts {
+		s := rt.Metrics().Snapshot()
+		total.Merge(s)
+	}
+	return total
+}
+
+// subtract removes the baseline (setup-time) counters from m.
+func subtract(m *stm.MetricsSnapshot, base stm.MetricsSnapshot) {
+	m.Commits -= base.Commits
+	m.NestedCommits -= base.NestedCommits
+	m.NestedOwn -= base.NestedOwn
+	m.NestedParent -= base.NestedParent
+	m.Enqueues -= base.Enqueues
+	m.Pushes -= base.Pushes
+	m.Retrieves -= base.Retrieves
+	for c, v := range base.Aborts {
+		m.Aborts[c] -= v
+	}
+}

@@ -1,0 +1,55 @@
+// Package object defines the shared-object model of the dataflow D-STM:
+// identifiers, versions, copyable values, and the owner-side Store that
+// holds the single authoritative (writable) copy of each object together
+// with its commit-lock state.
+package object
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+)
+
+// ID names a shared object cluster-wide, e.g. "bank/acct/42".
+type ID string
+
+// Hash returns a stable hash of the ID, used to place the object's home
+// (directory) node.
+func (id ID) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}
+
+// Version identifies a committed state of an object: the TFA clock value of
+// the committing node at its commit point, plus the node ID as tie-breaker.
+// The zero Version denotes the initial (creation) state.
+type Version struct {
+	Clock uint64
+	Node  int32
+}
+
+// Less orders versions by clock, then node.
+func (v Version) Less(o Version) bool {
+	if v.Clock != o.Clock {
+		return v.Clock < o.Clock
+	}
+	return v.Node < o.Node
+}
+
+// Equal reports whether two versions are identical.
+func (v Version) Equal(o Version) bool { return v == o }
+
+func (v Version) String() string { return fmt.Sprintf("v%d@n%d", v.Clock, v.Node) }
+
+// Value is the interface shared objects implement. Copy must return a deep
+// copy so that transaction-local buffers never alias the authoritative
+// copy. Values travelling over the TCP transport must also be registered
+// with Register so encoding/gob can marshal them through interface fields.
+type Value interface {
+	Copy() Value
+}
+
+// Register makes a concrete Value type known to encoding/gob, for use with
+// the TCP transport. It is safe to call from init functions.
+func Register(v Value) { gob.Register(v) }

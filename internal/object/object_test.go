@@ -1,0 +1,251 @@
+package object
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// intBox is a minimal Value for tests.
+type intBox struct{ N int64 }
+
+func (b *intBox) Copy() Value { c := *b; return &c }
+
+func TestIDHashStable(t *testing.T) {
+	a := ID("bank/acct/1").Hash()
+	b := ID("bank/acct/1").Hash()
+	if a != b {
+		t.Fatal("same ID hashed to different values")
+	}
+	if ID("bank/acct/1").Hash() == ID("bank/acct/2").Hash() {
+		t.Fatal("suspicious collision between adjacent IDs")
+	}
+}
+
+func TestVersionOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Version
+		less bool
+	}{
+		{Version{1, 0}, Version{2, 0}, true},
+		{Version{2, 0}, Version{1, 0}, false},
+		{Version{1, 1}, Version{1, 2}, true},
+		{Version{1, 2}, Version{1, 1}, false},
+		{Version{1, 1}, Version{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+	if !(Version{3, 1}).Equal(Version{3, 1}) {
+		t.Fatal("Equal failed on identical versions")
+	}
+}
+
+// Property: Less is a strict weak ordering (irreflexive, asymmetric,
+// transitive over random triples).
+func TestVersionLessStrictOrder(t *testing.T) {
+	f := func(c1, c2, c3 uint64, n1, n2, n3 int32) bool {
+		a, b, c := Version{c1, n1}, Version{c2, n2}, Version{c3, n3}
+		if a.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		// Totality: exactly one of a<b, b<a, a==b.
+		lt, gt, eq := a.Less(b), b.Less(a), a.Equal(b)
+		cnt := 0
+		for _, x := range []bool{lt, gt, eq} {
+			if x {
+				cnt++
+			}
+		}
+		return cnt == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreInstallSnapshot(t *testing.T) {
+	s := NewStore()
+	s.Install("x", &intBox{7}, Version{1, 0})
+	val, ver, locked, ok := s.Snapshot("x")
+	if !ok || locked {
+		t.Fatalf("Snapshot: ok=%v locked=%v", ok, locked)
+	}
+	if ver != (Version{1, 0}) {
+		t.Fatalf("version %v", ver)
+	}
+	if val.(*intBox).N != 7 {
+		t.Fatalf("value %v", val)
+	}
+	// The snapshot must be a deep copy.
+	val.(*intBox).N = 99
+	val2, _, _, _ := s.Snapshot("x")
+	if val2.(*intBox).N != 7 {
+		t.Fatal("Snapshot aliases the authoritative copy")
+	}
+}
+
+func TestSnapshotMissing(t *testing.T) {
+	s := NewStore()
+	if _, _, _, ok := s.Snapshot("nope"); ok {
+		t.Fatal("Snapshot of missing object returned ok")
+	}
+	if _, ok := s.Version("nope"); ok {
+		t.Fatal("Version of missing object returned ok")
+	}
+}
+
+func TestLockSemantics(t *testing.T) {
+	s := NewStore()
+	s.Install("x", &intBox{1}, Version{5, 2})
+
+	if got := s.Lock("y", 10, Version{}); got != LockNotOwner {
+		t.Fatalf("lock unowned: %v", got)
+	}
+	if got := s.Lock("x", 10, Version{4, 2}); got != LockStale {
+		t.Fatalf("stale lock: %v", got)
+	}
+	if got := s.Lock("x", 10, Version{5, 2}); got != LockOK {
+		t.Fatalf("lock: %v", got)
+	}
+	if !s.Locked("x") {
+		t.Fatal("Locked false after Lock")
+	}
+	// Re-entrant for the same tx.
+	if got := s.Lock("x", 10, Version{5, 2}); got != LockOK {
+		t.Fatalf("re-entrant lock: %v", got)
+	}
+	// Busy for another tx, even with correct version.
+	if got := s.Lock("x", 11, Version{5, 2}); got != LockBusy {
+		t.Fatalf("busy lock: %v", got)
+	}
+	// Unlock by non-holder is a no-op.
+	s.Unlock("x", 11)
+	if !s.Locked("x") {
+		t.Fatal("non-holder unlock released the lock")
+	}
+	s.Unlock("x", 10)
+	if s.Locked("x") {
+		t.Fatal("still locked after holder unlock")
+	}
+	// Unlock when unlocked is a no-op.
+	s.Unlock("x", 10)
+}
+
+func TestRemoveRequiresLock(t *testing.T) {
+	s := NewStore()
+	s.Install("x", &intBox{1}, Version{1, 0})
+	if err := s.Remove("x", 10); err == nil {
+		t.Fatal("Remove without lock succeeded")
+	}
+	if s.Lock("x", 10, Version{1, 0}) != LockOK {
+		t.Fatal("lock failed")
+	}
+	if err := s.Remove("x", 11); err == nil {
+		t.Fatal("Remove by non-holder succeeded")
+	}
+	if err := s.Remove("x", 10); err != nil {
+		t.Fatalf("Remove by holder: %v", err)
+	}
+	if s.Owns("x") {
+		t.Fatal("object still owned after Remove")
+	}
+	if err := s.Remove("x", 10); err == nil {
+		t.Fatal("double Remove succeeded")
+	}
+}
+
+func TestStoreLenIDs(t *testing.T) {
+	s := NewStore()
+	s.Install("a", &intBox{1}, Version{})
+	s.Install("b", &intBox{2}, Version{})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	ids := s.IDs()
+	seen := map[ID]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	if !seen["a"] || !seen["b"] || len(ids) != 2 {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestLockResultString(t *testing.T) {
+	for lr, want := range map[LockResult]string{
+		LockOK: "ok", LockStale: "stale", LockBusy: "busy", LockNotOwner: "not-owner",
+	} {
+		if lr.String() != want {
+			t.Errorf("%d.String() = %q, want %q", lr, lr.String(), want)
+		}
+	}
+	if LockResult(99).String() == "" {
+		t.Error("unknown LockResult produced empty string")
+	}
+}
+
+func TestUnlockBeforeLockRefusesStaleAcquire(t *testing.T) {
+	// A release processed before its own (delayed) acquire must tombstone
+	// the transaction so the late acquire cannot orphan the lock.
+	s := NewStore()
+	s.Install("x", &intBox{1}, Version{})
+
+	s.Unlock("x", 42) // release arrives first (reordered handlers)
+	if got := s.Lock("x", 42, Version{}); got != LockBusy {
+		t.Fatalf("stale acquire after release = %v, want LockBusy", got)
+	}
+	if s.Locked("x") {
+		t.Fatal("stale acquire locked the object")
+	}
+	// The tombstone is one-shot: a later, legitimate acquire from the same
+	// ID (not possible with per-attempt lock IDs, but defensively) works.
+	if got := s.Lock("x", 42, Version{}); got != LockOK {
+		t.Fatalf("second acquire = %v, want LockOK", got)
+	}
+	s.Unlock("x", 42)
+
+	// The ring tolerates several racing transactions.
+	for tx := uint64(100); tx < 104; tx++ {
+		s.Unlock("x", tx)
+	}
+	for tx := uint64(100); tx < 104; tx++ {
+		if got := s.Lock("x", tx, Version{}); got != LockBusy {
+			t.Fatalf("tx %d stale acquire = %v, want LockBusy", tx, got)
+		}
+	}
+}
+
+func TestStoreConcurrentLocking(t *testing.T) {
+	s := NewStore()
+	s.Install("x", &intBox{0}, Version{})
+	const goroutines = 8
+	acquired := make(chan uint64, goroutines)
+	done := make(chan struct{})
+	for g := 1; g <= goroutines; g++ {
+		go func(tx uint64) {
+			if s.Lock("x", tx, Version{}) == LockOK {
+				acquired <- tx
+			}
+			done <- struct{}{}
+		}(uint64(g))
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	close(acquired)
+	n := 0
+	for range acquired {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("%d goroutines acquired the commit lock, want exactly 1", n)
+	}
+}

@@ -1,0 +1,280 @@
+package object
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Store holds the authoritative copies of the objects currently owned by
+// one node, together with per-object commit-lock state. All methods are
+// safe for concurrent use.
+//
+// The commit lock is what creates the scheduling window the paper exploits:
+// while a committing transaction validates an object (holds its lock),
+// every incoming retrieve request for that object is a conflict that the
+// node's scheduler must resolve (abort vs enqueue).
+type Store struct {
+	mu    sync.Mutex
+	objs  map[ID]*record
+	trace func(op string, id ID, tx uint64)
+}
+
+// SetTrace installs a debug callback invoked (under the store lock) for
+// every lock-state transition: "lock-ok", "lock-busy", "lock-stale",
+// "lock-refused", "unlock", "unlock-miss", "remove", "commit", "install",
+// "install-locked". Pass nil to disable. Intended for tests and debugging.
+func (s *Store) SetTrace(f func(op string, id ID, tx uint64)) {
+	s.mu.Lock()
+	s.trace = f
+	s.mu.Unlock()
+}
+
+func (s *Store) emit(op string, id ID, tx uint64) {
+	if s.trace != nil {
+		s.trace(op, id, tx)
+	}
+}
+
+type record struct {
+	val    Value
+	ver    Version
+	lockTx uint64 // transaction ID holding the commit lock; 0 = unlocked
+	// refused is a small ring of one-shot tombstones: Unlock by a
+	// transaction that does not hold the lock records its ID here, so a
+	// stale Lock request from that transaction arriving *after* its
+	// release (request/handler reordering, or a lock reply lost to
+	// cancellation) is denied instead of orphaning the lock forever.
+	refused    [4]uint64
+	refusedIdx uint8
+}
+
+// refuse records tx in the tombstone ring.
+func (r *record) refuse(tx uint64) {
+	r.refused[r.refusedIdx%4] = tx
+	r.refusedIdx++
+}
+
+// consumeRefusal reports whether tx was tombstoned, clearing the entry.
+func (r *record) consumeRefusal(tx uint64) bool {
+	for i := range r.refused {
+		if r.refused[i] == tx {
+			r.refused[i] = 0
+			return true
+		}
+	}
+	return false
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{objs: make(map[ID]*record)}
+}
+
+// Install inserts or replaces the authoritative copy of an object,
+// unlocked. Used at object creation and when ownership migrates to this
+// node after a commit.
+func (s *Store) Install(id ID, val Value, ver Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.emit("install", id, 0)
+	s.objs[id] = &record{val: val, ver: ver}
+}
+
+// Snapshot returns a deep copy of the object's value plus its version and
+// lock state. ok is false when this node does not own the object.
+func (s *Store) Snapshot(id ID) (val Value, ver Version, locked bool, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.objs[id]
+	if !ok {
+		return nil, Version{}, false, false
+	}
+	return r.val.Copy(), r.ver, r.lockTx != 0, true
+}
+
+// Version returns the object's current version. ok is false when the object
+// is not owned here.
+func (s *Store) Version(id ID) (Version, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.objs[id]
+	if !ok {
+		return Version{}, false
+	}
+	return r.ver, true
+}
+
+// State returns the object's version and the transaction holding its commit
+// lock (0 when unlocked). ok is false when the object is not owned here.
+func (s *Store) State(id ID) (ver Version, lockedBy uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.objs[id]
+	if !ok {
+		return Version{}, 0, false
+	}
+	return r.ver, r.lockTx, true
+}
+
+// Lock acquires the commit lock on id for transaction tx if the object is
+// owned here, currently unlocked (or already locked by tx), and its version
+// still equals expect. It returns:
+//
+//	LockOK       – lock acquired (or re-entered)
+//	LockStale    – version mismatch: the caller read a stale copy
+//	LockBusy     – another transaction holds the commit lock
+//	LockNotOwner – this node does not own the object
+func (s *Store) Lock(id ID, tx uint64, expect Version) LockResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.objs[id]
+	if !ok {
+		return LockNotOwner
+	}
+	if tx != 0 && r.consumeRefusal(tx) {
+		// The transaction already released (or abandoned) this lock; its
+		// stale acquire must not resurrect it.
+		s.emit("lock-refused", id, tx)
+		return LockBusy
+	}
+	if r.lockTx != 0 && r.lockTx != tx {
+		s.emit("lock-busy", id, tx)
+		return LockBusy
+	}
+	if !r.ver.Equal(expect) {
+		s.emit("lock-stale", id, tx)
+		return LockStale
+	}
+	r.lockTx = tx
+	s.emit("lock-ok", id, tx)
+	return LockOK
+}
+
+// Unlock releases the commit lock on id if held by tx. Releasing a lock
+// that tx does not hold plants a one-shot refusal marker instead (see
+// record.refusedTx), so a delayed Lock request from tx cannot orphan the
+// object after its owner already processed the release.
+func (s *Store) Unlock(id ID, tx uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.objs[id]
+	if !ok {
+		s.emit("unlock-noobj", id, tx)
+		return
+	}
+	if r.lockTx == tx {
+		r.lockTx = 0
+		s.emit("unlock", id, tx)
+		return
+	}
+	s.emit("unlock-miss", id, tx)
+	r.refuse(tx)
+}
+
+// InstallLocked inserts an object already commit-locked by tx, so it is
+// invisible to plain snapshots' unlocked path until the creating
+// transaction commits (UpdateCommitted) or rolls back (Remove).
+func (s *Store) InstallLocked(id ID, val Value, ver Version, tx uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.emit("install-locked", id, tx)
+	s.objs[id] = &record{val: val, ver: ver, lockTx: tx}
+}
+
+// UpdateCommitted installs a new committed value and version for an object
+// whose commit lock is held by tx, then releases the lock. Used when the
+// committing transaction's node already owns the object (no migration).
+func (s *Store) UpdateCommitted(id ID, val Value, ver Version, tx uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.objs[id]
+	if !ok {
+		return fmt.Errorf("store: update %q: not owned", id)
+	}
+	if r.lockTx != tx {
+		return fmt.Errorf("store: update %q: lock held by tx %d, not %d", id, r.lockTx, tx)
+	}
+	r.val = val
+	r.ver = ver
+	r.lockTx = 0
+	s.emit("commit", id, tx)
+	return nil
+}
+
+// Remove deletes the object if the caller transaction holds its commit lock
+// (ownership is migrating away as part of tx's commit). It returns an error
+// if the object is absent or locked by someone else.
+func (s *Store) Remove(id ID, tx uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.objs[id]
+	if !ok {
+		return fmt.Errorf("store: remove %q: not owned", id)
+	}
+	if r.lockTx != tx {
+		return fmt.Errorf("store: remove %q: lock held by tx %d, not %d", id, r.lockTx, tx)
+	}
+	s.emit("remove", id, tx)
+	delete(s.objs, id)
+	return nil
+}
+
+// Owns reports whether this node currently owns id.
+func (s *Store) Owns(id ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.objs[id]
+	return ok
+}
+
+// Locked reports whether id is owned here and commit-locked.
+func (s *Store) Locked(id ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.objs[id]
+	return ok && r.lockTx != 0
+}
+
+// Len returns the number of objects owned by this node.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objs)
+}
+
+// IDs returns the IDs of all objects owned here (unordered snapshot).
+func (s *Store) IDs() []ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ID, 0, len(s.objs))
+	for id := range s.objs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// LockResult is the outcome of a Store.Lock attempt.
+type LockResult uint8
+
+// Lock outcomes; see Store.Lock.
+const (
+	LockOK LockResult = iota
+	LockStale
+	LockBusy
+	LockNotOwner
+)
+
+func (lr LockResult) String() string {
+	switch lr {
+	case LockOK:
+		return "ok"
+	case LockStale:
+		return "stale"
+	case LockBusy:
+		return "busy"
+	case LockNotOwner:
+		return "not-owner"
+	default:
+		return fmt.Sprintf("LockResult(%d)", uint8(lr))
+	}
+}

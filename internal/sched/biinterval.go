@@ -1,0 +1,175 @@
+package sched
+
+import (
+	"sync"
+	"time"
+
+	"dstm/internal/object"
+)
+
+// BiInterval implements (a single-node-queue variant of) Kim & Ravindran's
+// Bi-interval scheduler (SSS 2010), which the paper discusses as related
+// work: conflicting requests are enqueued and their future execution is
+// grouped into reading and writing intervals — all queued readers are
+// released together (one object copy broadcast serves the whole read
+// interval), then writers one at a time. Unlike RTS it has no contention-
+// level gate and no execution-time gate: every conflicting requester is
+// enqueued (up to a cap), which is exactly the behaviour RTS's §VI argues
+// against under high contention.
+type BiInterval struct {
+	est      Estimator
+	maxQueue int
+
+	mu    sync.Mutex
+	queue map[object.ID][]Request
+	// counts for interval bookkeeping (metrics/tests)
+	readIntervals, writeIntervals uint64
+}
+
+// NewBiInterval returns a Bi-interval policy. est supplies expected
+// execution times for backoff assignment (may be nil); maxQueue caps each
+// object's queue (0 means 16).
+func NewBiInterval(est Estimator, maxQueue int) *BiInterval {
+	if maxQueue <= 0 {
+		maxQueue = 16
+	}
+	return &BiInterval{
+		est:      est,
+		maxQueue: maxQueue,
+		queue:    make(map[object.ID][]Request),
+	}
+}
+
+var _ Policy = (*BiInterval)(nil)
+
+// Name implements Policy.
+func (b *BiInterval) Name() string { return "Bi-interval" }
+
+// ObserveRequest implements Policy. Bi-interval does not track contention
+// levels.
+func (b *BiInterval) ObserveRequest(object.ID, uint64) int { return 0 }
+
+// OnConflict implements Policy: enqueue unconditionally (reads sorted
+// ahead of writes to form the reading interval), with a backoff that
+// covers the expected remaining time of everything queued ahead.
+func (b *BiInterval) OnConflict(req Request) Decision {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q := b.queue[req.Oid]
+	// Dedup a retrying transaction.
+	for i, e := range q {
+		if e.Node == req.Node && e.TxID == req.TxID {
+			q = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(q) >= b.maxQueue {
+		b.queue[req.Oid] = q
+		return Decision{}
+	}
+	var backoff time.Duration
+	for _, e := range q {
+		backoff += e.ExpectedRemaining
+	}
+	backoff += req.ExpectedRemaining
+
+	if req.Mode == Read {
+		// Insert at the end of the read prefix: reads run as one interval.
+		cut := 0
+		for cut < len(q) && q[cut].Mode == Read {
+			cut++
+		}
+		q = append(q[:cut], append([]Request{req}, q[cut:]...)...)
+	} else {
+		q = append(q, req)
+	}
+	b.queue[req.Oid] = q
+	return Decision{Enqueue: true, Backoff: backoff}
+}
+
+// OnRelease implements Policy: pop the reading interval (all queued reads)
+// if one is pending, otherwise the next writer.
+func (b *BiInterval) OnRelease(oid object.ID) []Request {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.popLocked(oid)
+}
+
+// OnDecline implements Policy.
+func (b *BiInterval) OnDecline(oid object.ID) []Request {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.popLocked(oid)
+}
+
+func (b *BiInterval) popLocked(oid object.ID) []Request {
+	q := b.queue[oid]
+	if len(q) == 0 {
+		return nil
+	}
+	if q[0].Mode == Read {
+		// Reading interval: every queued read goes at once.
+		var reads []Request
+		var rest []Request
+		for _, e := range q {
+			if e.Mode == Read {
+				reads = append(reads, e)
+			} else {
+				rest = append(rest, e)
+			}
+		}
+		b.setQueue(oid, rest)
+		b.readIntervals++
+		return reads
+	}
+	head := q[0]
+	b.setQueue(oid, q[1:])
+	b.writeIntervals++
+	return []Request{head}
+}
+
+func (b *BiInterval) setQueue(oid object.ID, q []Request) {
+	if len(q) == 0 {
+		delete(b.queue, oid)
+	} else {
+		b.queue[oid] = q
+	}
+}
+
+// ExtractQueue implements Policy.
+func (b *BiInterval) ExtractQueue(oid object.ID) []Request {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q := b.queue[oid]
+	delete(b.queue, oid)
+	return q
+}
+
+// AdoptQueue implements Policy.
+func (b *BiInterval) AdoptQueue(oid object.ID, reqs []Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.queue[oid] = append(reqs, b.queue[oid]...)
+}
+
+// RetryDelay implements Policy: aborted transactions restart immediately
+// (scheduling happens via the queues).
+func (b *BiInterval) RetryDelay(int, string) time.Duration { return 0 }
+
+// Intervals reports how many reading and writing intervals have been
+// dispatched (for tests and reports).
+func (b *BiInterval) Intervals() (reads, writes uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.readIntervals, b.writeIntervals
+}
+
+// QueueLen reports oid's current queue length.
+func (b *BiInterval) QueueLen(oid object.ID) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue[oid])
+}

@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"dstm/internal/object"
+	"dstm/internal/transport"
+)
+
+func birq(oid string, tx uint64, node int32, mode Mode, remain time.Duration) Request {
+	return Request{
+		Oid:               object.ID("obj/" + oid),
+		TxID:              tx,
+		Node:              transport.NodeID(node),
+		Mode:              mode,
+		Elapsed:           time.Second,
+		ExpectedRemaining: remain,
+	}
+}
+
+func TestBiIntervalEnqueuesEverything(t *testing.T) {
+	p := NewBiInterval(nil, 0)
+	if p.Name() != "Bi-interval" {
+		t.Fatalf("name %q", p.Name())
+	}
+	for i := uint64(1); i <= 5; i++ {
+		d := p.OnConflict(birq("x", i, int32(i), Write, time.Millisecond))
+		if !d.Enqueue {
+			t.Fatalf("requester %d not enqueued", i)
+		}
+		if d.Backoff != time.Duration(i)*time.Millisecond {
+			t.Fatalf("requester %d backoff %v", i, d.Backoff)
+		}
+	}
+	if p.QueueLen("obj/x") != 5 {
+		t.Fatalf("queue %d", p.QueueLen("obj/x"))
+	}
+}
+
+func TestBiIntervalQueueCap(t *testing.T) {
+	p := NewBiInterval(nil, 2)
+	p.OnConflict(birq("x", 1, 1, Write, time.Millisecond))
+	p.OnConflict(birq("x", 2, 2, Write, time.Millisecond))
+	if d := p.OnConflict(birq("x", 3, 3, Write, time.Millisecond)); d.Enqueue {
+		t.Fatal("cap not enforced")
+	}
+}
+
+func TestBiIntervalReadsGroupAhead(t *testing.T) {
+	p := NewBiInterval(nil, 0)
+	p.OnConflict(birq("x", 1, 1, Write, time.Millisecond))
+	p.OnConflict(birq("x", 2, 2, Read, time.Millisecond))
+	p.OnConflict(birq("x", 3, 3, Write, time.Millisecond))
+	p.OnConflict(birq("x", 4, 4, Read, time.Millisecond))
+
+	// Reading interval pops first: both reads together.
+	out := p.OnRelease("obj/x")
+	if len(out) != 2 || out[0].Mode != Read || out[1].Mode != Read {
+		t.Fatalf("reading interval = %+v", out)
+	}
+	reads, writes := p.Intervals()
+	if reads != 1 || writes != 0 {
+		t.Fatalf("intervals %d/%d", reads, writes)
+	}
+	// Then writers one at a time, FIFO.
+	if out := p.OnDecline("obj/x"); len(out) != 1 || out[0].TxID != 1 {
+		t.Fatalf("first writer = %+v", out)
+	}
+	if out := p.OnRelease("obj/x"); len(out) != 1 || out[0].TxID != 3 {
+		t.Fatalf("second writer = %+v", out)
+	}
+	if out := p.OnRelease("obj/x"); out != nil {
+		t.Fatalf("empty queue popped %+v", out)
+	}
+}
+
+func TestBiIntervalDedup(t *testing.T) {
+	p := NewBiInterval(nil, 0)
+	req := birq("x", 7, 7, Write, time.Millisecond)
+	p.OnConflict(req)
+	d := p.OnConflict(req)
+	if p.QueueLen("obj/x") != 1 {
+		t.Fatalf("duplicate occupies %d slots", p.QueueLen("obj/x"))
+	}
+	if d.Backoff != time.Millisecond {
+		t.Fatalf("backoff double-counted: %v", d.Backoff)
+	}
+}
+
+func TestBiIntervalExtractAdopt(t *testing.T) {
+	p := NewBiInterval(nil, 0)
+	p.OnConflict(birq("x", 1, 1, Write, time.Millisecond))
+	p.OnConflict(birq("x", 2, 2, Write, time.Millisecond))
+	q := p.ExtractQueue("obj/x")
+	if len(q) != 2 || p.QueueLen("obj/x") != 0 {
+		t.Fatalf("extract: %+v, len %d", q, p.QueueLen("obj/x"))
+	}
+	p2 := NewBiInterval(nil, 0)
+	p2.OnConflict(birq("x", 9, 9, Write, time.Millisecond))
+	p2.AdoptQueue("obj/x", q)
+	if p2.QueueLen("obj/x") != 3 {
+		t.Fatalf("adopted len %d", p2.QueueLen("obj/x"))
+	}
+	out := p2.OnRelease("obj/x")
+	if len(out) != 1 || out[0].TxID != 1 {
+		t.Fatalf("adopted head %+v", out)
+	}
+	p2.AdoptQueue("obj/x", nil)
+}
+
+func TestBiIntervalMisc(t *testing.T) {
+	p := NewBiInterval(nil, 0)
+	if p.ObserveRequest("obj/x", 1) != 0 {
+		t.Fatal("Bi-interval should not track CL")
+	}
+	if p.RetryDelay(3, "p") != 0 {
+		t.Fatal("retry delay should be zero")
+	}
+	if q := p.ExtractQueue("obj/none"); q != nil {
+		t.Fatalf("extract empty = %+v", q)
+	}
+}

@@ -1,0 +1,303 @@
+package stm
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dstm/internal/object"
+	"dstm/internal/transport"
+)
+
+// commit drives the top-level (root) commit protocol:
+//
+//  1. commit-lock every written object at its owner (version CAS) — from
+//     this moment retrieve requests for those objects conflict and flow
+//     through the transactional scheduler;
+//  2. validate the read-only set (early validation);
+//  3. install created objects (locked) and register them with their homes;
+//  4. commit point: tick the local TFA clock, producing the new version;
+//  5. publish every written object: update in place when this node already
+//     owns it, otherwise migrate ownership here (adopting the old owner's
+//     requester queue) and update the home directory;
+//  6. hand freshly committed objects to queued requesters (RTS hand-off).
+//
+// Like the paper's model we assume reliable message delivery: a transport
+// failure between steps 4 and 5 is surfaced but cannot be rolled back.
+var debugCommit = os.Getenv("DSTM_DEBUG_COMMIT") != ""
+
+func (tx *Txn) commit(ctx context.Context) error {
+	if tx.parent != nil {
+		panic("stm: commit called on a nested transaction")
+	}
+	rt := tx.rt
+
+	var writes, reads, creates []object.ID
+	for oid, e := range tx.entries {
+		switch {
+		case e.created:
+			creates = append(creates, oid)
+		case e.dirty:
+			writes = append(writes, oid)
+		default:
+			reads = append(reads, oid)
+		}
+	}
+	// Read-only transactions commit without further validation: TFA's
+	// forwarding kept their snapshot consistent as of tx.start.
+	if len(writes) == 0 && len(creates) == 0 {
+		return nil
+	}
+	sortIDs(writes)
+	sortIDs(creates)
+
+	// Phase 1: lock the write set at the owners.
+	//
+	// Lock release and post-commit publishing must complete even when the
+	// transaction's own context has just been cancelled — otherwise a
+	// worker shut down mid-commit leaves orphaned commit locks (or a
+	// half-published write set) behind. Run them on a detached context.
+	locked := make(map[object.ID]transport.NodeID, len(writes))
+	abortUnlock := func() { tx.releaseLocks(detach(ctx), locked) }
+
+	// All locks are try-locks, so they can be requested concurrently —
+	// this keeps the total validation window (the conflict window the
+	// scheduler arbitrates) close to one round trip instead of one per
+	// object.
+	{
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		var firstErr error
+		stale := false
+		busy := false
+		for _, oid := range writes {
+			wg.Add(1)
+			go func(oid object.ID) {
+				defer wg.Done()
+				e := tx.entries[oid]
+				owner, attempted, res, err := tx.acquire(ctx, oid, e.ver)
+				mu.Lock()
+				defer mu.Unlock()
+				if attempted {
+					// Track every owner we *attempted* to lock: if the
+					// reply was lost (cancellation mid-call), the request
+					// may still lock the object at the owner, so the abort
+					// path must release it (the store's refusal marker
+					// covers release-before-acquire races).
+					locked[oid] = owner
+				}
+				if err != nil {
+					if debugCommit {
+						fmt.Printf("DBG acquire-err tx=%x oid=%s owner=%d err=%v\n", tx.lockID, oid, owner, err)
+					}
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				switch res {
+				case object.LockOK:
+				case object.LockStale:
+					stale = true
+				default: // LockBusy, LockNotOwner after hint chasing
+					busy = true
+				}
+			}(oid)
+		}
+		wg.Wait()
+		switch {
+		case firstErr != nil:
+			abortUnlock()
+			return tx.convertErr(ctx, firstErr, AbortLockFailed)
+		case stale:
+			abortUnlock()
+			return &abortError{target: tx, cause: AbortValidation}
+		case busy:
+			abortUnlock()
+			return &abortError{target: tx, cause: AbortLockFailed}
+		}
+	}
+
+	// Phase 2: early validation of the read set, concurrently.
+	if err := tx.validateMany(ctx, reads); err != nil {
+		abortUnlock()
+		return err
+	}
+
+	// Phase 3: install creations locked, then register them. Bail out on a
+	// cancelled context before the first registration; afterwards run the
+	// registrations detached so cancellation cannot leave a subset of the
+	// creations registered.
+	if err := ctx.Err(); err != nil {
+		abortUnlock()
+		return err
+	}
+	regCtx := detach(ctx)
+	for i, oid := range creates {
+		e := tx.entries[oid]
+		rt.store.InstallLocked(oid, e.val.Copy(), object.Version{}, tx.lockID)
+		if err := rt.locator.Register(regCtx, oid, rt.Self()); err != nil {
+			// ID collision or directory failure: roll the creations back.
+			for _, done := range creates[:i+1] {
+				_ = rt.store.Remove(done, tx.lockID)
+			}
+			abortUnlock()
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("stm: create %q: %w", oid, err)
+		}
+	}
+
+	// Phase 4: commit point.
+	newVer := object.Version{Clock: rt.clock.Tick(), Node: int32(rt.Self())}
+
+	// Phase 5+6: publish writes and serve queued requesters. Past the
+	// commit point cancellation must not interrupt publication.
+	pubCtx := detach(ctx)
+	{
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var pubErr error
+		for _, oid := range writes {
+			wg.Add(1)
+			go func(oid object.ID) {
+				defer wg.Done()
+				e := tx.entries[oid]
+				if err := tx.publish(pubCtx, oid, e.val, newVer, locked[oid]); err != nil {
+					if debugCommit {
+						fmt.Printf("DBG publish-err tx=%x oid=%s err=%v\n", tx.lockID, oid, err)
+					}
+					// Already-published objects cannot be unpublished (the
+					// paper's model assumes reliable delivery); at least
+					// free this object's lock so it is not wedged.
+					tx.releaseLocks(pubCtx, map[object.ID]transport.NodeID{oid: locked[oid]})
+					mu.Lock()
+					if pubErr == nil {
+						pubErr = err
+					}
+					mu.Unlock()
+				}
+			}(oid)
+		}
+		wg.Wait()
+		if pubErr != nil {
+			return pubErr
+		}
+	}
+	for _, oid := range creates {
+		e := tx.entries[oid]
+		if err := rt.store.UpdateCommitted(oid, e.val.Copy(), newVer, tx.lockID); err != nil {
+			return err
+		}
+		rt.serveQueue(oid, rt.policy.OnRelease(oid))
+	}
+
+	rt.stats.RecordCommit(tx.name, time.Since(tx.began))
+	return nil
+}
+
+// acquire commit-locks one object at its owner, chasing stale hints.
+// attempted reports whether a lock request was issued to the returned
+// owner — if so, the caller must release it on abort even when err is
+// non-nil, because a request whose reply was lost may still have locked
+// the object.
+func (tx *Txn) acquire(ctx context.Context, oid object.ID, ver object.Version) (owner transport.NodeID, attempted bool, res object.LockResult, err error) {
+	rt := tx.rt
+	for hop := 0; hop < maxOwnerHops; hop++ {
+		owner, err = rt.locator.Locate(ctx, oid)
+		if err != nil {
+			return owner, attempted, object.LockNotOwner, err
+		}
+		attempted = true
+		body, err := rt.ep.Call(ctx, owner, KindAcquire, acquireReq{Oid: oid, TxID: tx.lockID, Ver: ver})
+		if err != nil {
+			return owner, attempted, object.LockNotOwner, err
+		}
+		resp, ok := body.(acquireResp)
+		if !ok {
+			return owner, attempted, object.LockNotOwner, fmt.Errorf("stm: bad acquire reply %T", body)
+		}
+		res = object.LockResult(resp.Result)
+		if res == object.LockNotOwner {
+			// This hop's owner definitively does not hold the object; the
+			// next hop's owner is what a conservative release must target.
+			attempted = false
+			if _, err := rt.locator.Relocate(ctx, oid); err != nil {
+				return owner, attempted, res, err
+			}
+			continue
+		}
+		return owner, attempted, res, nil
+	}
+	return owner, false, object.LockNotOwner, nil
+}
+
+// releaseLocks batches unlock requests per owner after a failed commit.
+func (tx *Txn) releaseLocks(ctx context.Context, locked map[object.ID]transport.NodeID) {
+	byOwner := make(map[transport.NodeID][]object.ID)
+	for oid, owner := range locked {
+		byOwner[owner] = append(byOwner[owner], oid)
+	}
+	for owner, oids := range byOwner {
+		sortIDs(oids)
+		// Best effort; the locks die with the runtime if the peer is gone.
+		_, err := tx.rt.ep.Call(ctx, owner, KindRelease, releaseReq{Oids: oids, TxID: tx.lockID})
+		if debugCommit {
+			fmt.Printf("DBG release tx=%x owner=%d oids=%v err=%v\n", tx.lockID, owner, oids, err)
+		}
+	}
+}
+
+// publish installs one committed write at its new home (this node) and
+// hands it to queued requesters.
+func (tx *Txn) publish(ctx context.Context, oid object.ID, val object.Value, ver object.Version, owner transport.NodeID) error {
+	rt := tx.rt
+	if owner == rt.Self() {
+		if err := rt.store.UpdateCommitted(oid, val.Copy(), ver, tx.lockID); err != nil {
+			return err
+		}
+		rt.serveQueue(oid, rt.policy.OnRelease(oid))
+		return nil
+	}
+
+	// Ownership migrates: the old owner surrenders the object and its
+	// requester queue (paper: "the node invoking the transaction receives
+	// Requester_Lists of each committed object").
+	body, err := rt.ep.Call(ctx, owner, KindCommitObject, commitObjReq{
+		Oid:      oid,
+		TxID:     tx.lockID,
+		NewVer:   ver,
+		NewValue: val,
+		NewOwner: rt.Self(),
+	})
+	if err != nil {
+		return fmt.Errorf("stm: commit migration of %q: %w", oid, err)
+	}
+	resp, ok := body.(commitObjResp)
+	if !ok {
+		return fmt.Errorf("stm: bad commit reply %T", body)
+	}
+
+	rt.store.Install(oid, val.Copy(), ver)
+	if err := rt.locator.UpdateOwner(ctx, oid, rt.Self()); err != nil {
+		return fmt.Errorf("stm: ownership update of %q: %w", oid, err)
+	}
+	rt.policy.AdoptQueue(oid, resp.Queue)
+	rt.serveQueue(oid, rt.policy.OnRelease(oid))
+	return nil
+}
+
+// detach returns a context that survives cancellation of ctx. RPCs issued
+// on it still fall under cluster.DefaultCallTimeout, so cleanup cannot hang
+// forever.
+func detach(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}
+
+func sortIDs(ids []object.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

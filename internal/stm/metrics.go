@@ -1,0 +1,124 @@
+package stm
+
+import "sync/atomic"
+
+// AbortCause classifies why a transaction attempt aborted, feeding the
+// paper's Table I (nested-abort attribution) and the throughput analyses.
+type AbortCause uint8
+
+// Abort causes.
+const (
+	// AbortDenied: a retrieve hit a commit-locked object and the scheduler
+	// denied the request (TFA's "losing transactions abort while T2
+	// validates").
+	AbortDenied AbortCause = iota
+	// AbortQueueTimeout: the transaction was enqueued by RTS but its
+	// backoff expired before the object arrived.
+	AbortQueueTimeout
+	// AbortValidation: commit-time or forwarding validation found a stale
+	// read (TFA's "early validation" abort).
+	AbortValidation
+	// AbortLockFailed: commit could not lock its write set.
+	AbortLockFailed
+	// AbortParent: a closed-nested transaction was rolled back because an
+	// enclosing transaction aborted after the child had committed into it.
+	AbortParent
+	numAbortCauses
+)
+
+func (c AbortCause) String() string {
+	switch c {
+	case AbortDenied:
+		return "denied"
+	case AbortQueueTimeout:
+		return "queue-timeout"
+	case AbortValidation:
+		return "validation"
+	case AbortLockFailed:
+		return "lock-failed"
+	case AbortParent:
+		return "parent-abort"
+	default:
+		return "unknown"
+	}
+}
+
+// Metrics aggregates one node's transaction outcomes. All fields are
+// updated atomically; read them with Snapshot.
+type Metrics struct {
+	commits       atomic.Uint64 // top-level commits
+	aborts        [numAbortCauses]atomic.Uint64
+	nestedCommits atomic.Uint64 // inner-transaction commits (merged into parents)
+	nestedOwn     atomic.Uint64 // inner aborts during the inner's own run
+	nestedParent  atomic.Uint64 // inner rollbacks caused by a parent abort
+	enqueues      atomic.Uint64 // requests parked by the scheduler
+	pushes        atomic.Uint64 // objects handed to parked requesters
+	retrieves     atomic.Uint64 // object fetch RPCs issued
+}
+
+// MetricsSnapshot is a consistent-enough copy of Metrics counters.
+type MetricsSnapshot struct {
+	Commits       uint64
+	Aborts        map[AbortCause]uint64
+	NestedCommits uint64
+	NestedOwn     uint64
+	NestedParent  uint64
+	Enqueues      uint64
+	Pushes        uint64
+	Retrieves     uint64
+}
+
+// Snapshot copies the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Commits:       m.commits.Load(),
+		Aborts:        make(map[AbortCause]uint64, int(numAbortCauses)),
+		NestedCommits: m.nestedCommits.Load(),
+		NestedOwn:     m.nestedOwn.Load(),
+		NestedParent:  m.nestedParent.Load(),
+		Enqueues:      m.enqueues.Load(),
+		Pushes:        m.pushes.Load(),
+		Retrieves:     m.retrieves.Load(),
+	}
+	for c := AbortCause(0); c < numAbortCauses; c++ {
+		s.Aborts[c] = m.aborts[c].Load()
+	}
+	return s
+}
+
+// TotalAborts sums the per-cause top-level abort counters.
+func (s MetricsSnapshot) TotalAborts() uint64 {
+	var t uint64
+	for _, v := range s.Aborts {
+		t += v
+	}
+	return t
+}
+
+// NestedAbortRate is Table I's metric: the fraction of nested-transaction
+// aborts caused by a parent's abort. Returns 0 when no nested aborts
+// occurred.
+func (s MetricsSnapshot) NestedAbortRate() float64 {
+	total := s.NestedOwn + s.NestedParent
+	if total == 0 {
+		return 0
+	}
+	return float64(s.NestedParent) / float64(total)
+}
+
+// Merge adds other's counters into s (for cluster-wide aggregation).
+func (s *MetricsSnapshot) Merge(other MetricsSnapshot) {
+	s.Commits += other.Commits
+	s.NestedCommits += other.NestedCommits
+	s.NestedOwn += other.NestedOwn
+	s.NestedParent += other.NestedParent
+	s.Enqueues += other.Enqueues
+	s.Pushes += other.Pushes
+	s.Retrieves += other.Retrieves
+	if s.Aborts == nil {
+		s.Aborts = make(map[AbortCause]uint64, int(numAbortCauses))
+	}
+	for c, v := range other.Aborts {
+		s.Aborts[c] += v
+	}
+}

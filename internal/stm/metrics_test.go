@@ -1,0 +1,60 @@
+package stm
+
+import (
+	"testing"
+)
+
+func TestAbortCauseStrings(t *testing.T) {
+	want := map[AbortCause]string{
+		AbortDenied:       "denied",
+		AbortQueueTimeout: "queue-timeout",
+		AbortValidation:   "validation",
+		AbortLockFailed:   "lock-failed",
+		AbortParent:       "parent-abort",
+		AbortCause(200):   "unknown",
+	}
+	for c, w := range want {
+		if got := c.String(); got != w {
+			t.Errorf("%d.String() = %q, want %q", c, got, w)
+		}
+	}
+}
+
+func TestMetricsSnapshotAndMerge(t *testing.T) {
+	var m Metrics
+	m.commits.Add(3)
+	m.aborts[AbortDenied].Add(2)
+	m.aborts[AbortValidation].Add(1)
+	m.nestedCommits.Add(5)
+	m.nestedOwn.Add(4)
+	m.nestedParent.Add(6)
+	m.enqueues.Add(7)
+	m.pushes.Add(8)
+	m.retrieves.Add(9)
+
+	s := m.Snapshot()
+	if s.Commits != 3 || s.NestedCommits != 5 || s.NestedOwn != 4 ||
+		s.NestedParent != 6 || s.Enqueues != 7 || s.Pushes != 8 || s.Retrieves != 9 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.TotalAborts() != 3 {
+		t.Fatalf("TotalAborts = %d", s.TotalAborts())
+	}
+	if got := s.NestedAbortRate(); got != 0.6 {
+		t.Fatalf("NestedAbortRate = %v, want 0.6", got)
+	}
+
+	var sum MetricsSnapshot
+	sum.Merge(s)
+	sum.Merge(s)
+	if sum.Commits != 6 || sum.Aborts[AbortDenied] != 4 || sum.NestedParent != 12 {
+		t.Fatalf("merged %+v", sum)
+	}
+}
+
+func TestNestedAbortRateZeroWhenNoAborts(t *testing.T) {
+	var m Metrics
+	if got := m.Snapshot().NestedAbortRate(); got != 0 {
+		t.Fatalf("rate = %v on empty metrics", got)
+	}
+}

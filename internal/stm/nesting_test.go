@@ -1,0 +1,316 @@
+package stm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"dstm/internal/object"
+)
+
+func TestNestedCommitMergesIntoParent(t *testing.T) {
+	tc := newTestCluster(t, 2, nil, nil)
+	ctx := context.Background()
+	if err := tc.rts[0].CreateRoot(ctx, "a", &box{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.rts[1].CreateRoot(ctx, "b", &box{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	rt := tc.rts[0]
+	err := rt.Atomic(ctx, "parent", func(tx *Txn) error {
+		if err := tx.Write(ctx, "a", &box{N: 10}); err != nil {
+			return err
+		}
+		// Inner transaction fetches and writes a remote object.
+		if err := tx.Atomic(ctx, "inner", func(c *Txn) error {
+			return c.Write(ctx, "b", &box{N: 20})
+		}); err != nil {
+			return err
+		}
+		// The inner write is visible to the parent after the inner commit.
+		v, err := tx.Read(ctx, "b")
+		if err != nil {
+			return err
+		}
+		if v.(*box).N != 20 {
+			return fmt.Errorf("parent sees %d, want 20", v.(*box).N)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both writes committed atomically at top level.
+	for oid, want := range map[object.ID]int64{"a": 10, "b": 20} {
+		var got int64
+		if err := tc.rts[1].Atomic(ctx, "read", func(tx *Txn) error {
+			v, err := tx.Read(ctx, oid)
+			if err != nil {
+				return err
+			}
+			got = v.(*box).N
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%s = %d, want %d", oid, got, want)
+		}
+	}
+	m := rt.Metrics().Snapshot()
+	if m.NestedCommits != 1 {
+		t.Fatalf("nested commits = %d, want 1", m.NestedCommits)
+	}
+}
+
+func TestInnerAbortRetriesOnlyInner(t *testing.T) {
+	tc := newTestCluster(t, 1, nil, nil)
+	rt := tc.rts[0]
+	ctx := context.Background()
+	if err := rt.CreateRoot(ctx, "x", &box{N: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	parentRuns, childRuns := 0, 0
+	err := rt.Atomic(ctx, "parent", func(tx *Txn) error {
+		parentRuns++
+		if err := tx.Write(ctx, "x", &box{N: 5}); err != nil {
+			return err
+		}
+		return tx.Atomic(ctx, "inner", func(c *Txn) error {
+			childRuns++
+			if childRuns == 1 {
+				// Simulate a conflict attributed to the inner transaction
+				// (e.g. a stale read it made).
+				return &abortError{target: c, cause: AbortValidation}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parentRuns != 1 {
+		t.Fatalf("parent ran %d times; inner abort must not abort the parent", parentRuns)
+	}
+	if childRuns != 2 {
+		t.Fatalf("child ran %d times, want 2", childRuns)
+	}
+	m := rt.Metrics().Snapshot()
+	if m.NestedOwn != 1 {
+		t.Fatalf("nestedOwn = %d, want 1", m.NestedOwn)
+	}
+	if m.NestedParent != 0 {
+		t.Fatalf("nestedParent = %d, want 0", m.NestedParent)
+	}
+}
+
+func TestParentAbortRollsBackCommittedChildren(t *testing.T) {
+	tc := newTestCluster(t, 1, nil, nil)
+	rt := tc.rts[0]
+	ctx := context.Background()
+	if err := rt.CreateRoot(ctx, "x", &box{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	attempts := 0
+	err := rt.Atomic(ctx, "parent", func(tx *Txn) error {
+		attempts++
+		// Two inner transactions commit into the parent.
+		for i := 0; i < 2; i++ {
+			if err := tx.Atomic(ctx, "inner", func(c *Txn) error {
+				return c.Update(ctx, "x", func(v object.Value) object.Value {
+					v.(*box).N++
+					return v
+				})
+			}); err != nil {
+				return err
+			}
+		}
+		if attempts == 1 {
+			// Parent-level conflict: both committed children roll back.
+			return &abortError{target: tx, cause: AbortDenied}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rt.Metrics().Snapshot()
+	if m.NestedParent != 2 {
+		t.Fatalf("nestedParent = %d, want 2 (both children rolled back)", m.NestedParent)
+	}
+	if m.NestedCommits != 4 {
+		t.Fatalf("nestedCommits = %d, want 4 (2 per attempt)", m.NestedCommits)
+	}
+	if got := m.Aborts[AbortDenied]; got != 1 {
+		t.Fatalf("denied aborts = %d", got)
+	}
+	// Only the second attempt's increments survive: 1 + 2 = 3.
+	var got int64
+	if err := rt.Atomic(ctx, "read", func(tx *Txn) error {
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		got = v.(*box).N
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("x = %d, want 3 (first attempt's children leaked)", got)
+	}
+}
+
+func TestGrandchildAccounting(t *testing.T) {
+	tc := newTestCluster(t, 1, nil, nil)
+	rt := tc.rts[0]
+	ctx := context.Background()
+
+	childRuns := 0
+	err := rt.Atomic(ctx, "root", func(tx *Txn) error {
+		return tx.Atomic(ctx, "child", func(c *Txn) error {
+			childRuns++
+			// A grandchild commits into the child...
+			if err := c.Atomic(ctx, "grandchild", func(g *Txn) error { return nil }); err != nil {
+				return err
+			}
+			if childRuns == 1 {
+				// ...then the child aborts: the grandchild is a
+				// parent-caused nested abort.
+				return &abortError{target: c, cause: AbortValidation}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rt.Metrics().Snapshot()
+	if m.NestedOwn != 1 {
+		t.Fatalf("nestedOwn = %d, want 1 (the child)", m.NestedOwn)
+	}
+	if m.NestedParent != 1 {
+		t.Fatalf("nestedParent = %d, want 1 (the grandchild)", m.NestedParent)
+	}
+}
+
+func TestRunningChildDiesWithParent(t *testing.T) {
+	tc := newTestCluster(t, 1, nil, nil)
+	rt := tc.rts[0]
+	ctx := context.Background()
+
+	rootAttempts := 0
+	err := rt.Atomic(ctx, "root", func(tx *Txn) error {
+		rootAttempts++
+		err := tx.Atomic(ctx, "child", func(c *Txn) error {
+			if rootAttempts == 1 {
+				// A conflict inside the child is attributed to the ROOT
+				// (e.g. a root-level read went stale): the child must not
+				// retry; the error unwinds.
+				return &abortError{target: tx, cause: AbortValidation}
+			}
+			return nil
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootAttempts != 2 {
+		t.Fatalf("root attempts = %d, want 2", rootAttempts)
+	}
+	m := rt.Metrics().Snapshot()
+	// The running child died with the parent: one parent-caused abort.
+	if m.NestedParent != 1 {
+		t.Fatalf("nestedParent = %d, want 1", m.NestedParent)
+	}
+	if m.NestedOwn != 0 {
+		t.Fatalf("nestedOwn = %d, want 0", m.NestedOwn)
+	}
+}
+
+func TestInnerAbortDiscardsInnerWritesOnly(t *testing.T) {
+	tc := newTestCluster(t, 1, nil, nil)
+	rt := tc.rts[0]
+	ctx := context.Background()
+	if err := rt.CreateRoot(ctx, "p", &pair{A: 1, B: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	childRuns := 0
+	err := rt.Atomic(ctx, "root", func(tx *Txn) error {
+		if err := tx.Write(ctx, "p", &pair{A: 100, B: 1}); err != nil {
+			return err
+		}
+		return tx.Atomic(ctx, "child", func(c *Txn) error {
+			childRuns++
+			if childRuns == 1 {
+				// Child overwrites via copy-on-write, then aborts.
+				if err := c.Write(ctx, "p", &pair{A: 100, B: 200}); err != nil {
+					return err
+				}
+				return &abortError{target: c, cause: AbortValidation}
+			}
+			// On retry, the child must see the PARENT's value, not its own
+			// aborted write.
+			v, err := c.Read(ctx, "p")
+			if err != nil {
+				return err
+			}
+			if got := v.(*pair); got.A != 100 || got.B != 1 {
+				return fmt.Errorf("child retry sees %+v, want parent's {100 1}", got)
+			}
+			return c.Write(ctx, "p", &pair{A: 100, B: 300})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got pair
+	if err := rt.Atomic(ctx, "read", func(tx *Txn) error {
+		v, err := tx.Read(ctx, "p")
+		if err != nil {
+			return err
+		}
+		got = *v.(*pair)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got.A != 100 || got.B != 300 {
+		t.Fatalf("final = %+v, want {100 300}", got)
+	}
+}
+
+func TestUserErrorFromChildPropagatesWithoutRetry(t *testing.T) {
+	tc := newTestCluster(t, 1, nil, nil)
+	rt := tc.rts[0]
+	ctx := context.Background()
+
+	boom := errors.New("child boom")
+	childRuns := 0
+	err := rt.Atomic(ctx, "root", func(tx *Txn) error {
+		err := tx.Atomic(ctx, "child", func(c *Txn) error {
+			childRuns++
+			return boom
+		})
+		if !errors.Is(err, boom) {
+			return fmt.Errorf("child error = %v, want boom", err)
+		}
+		// The paper's motivating pattern: respond to a nested failure with
+		// an alternative nested action, without aborting the parent.
+		return tx.Atomic(ctx, "fallback", func(c *Txn) error { return nil })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if childRuns != 1 {
+		t.Fatalf("child ran %d times, want 1", childRuns)
+	}
+}

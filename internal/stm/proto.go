@@ -1,0 +1,149 @@
+// Package stm implements the TFA (Transactional Forwarding Algorithm)
+// D-STM engine with closed nesting, per the HyFlow design the paper builds
+// on. See Runtime for the node-side engine and Txn for the transaction API.
+package stm
+
+import (
+	"time"
+
+	"dstm/internal/object"
+	"dstm/internal/sched"
+	"dstm/internal/transport"
+)
+
+// Message kinds 10–29 are reserved for the STM protocol.
+const (
+	// KindRetrieve is Open_Object's request to an object owner.
+	KindRetrieve transport.Kind = 10
+	// KindCheckVersion validates one read-set entry at its owner.
+	KindCheckVersion transport.Kind = 11
+	// KindAcquire commit-locks one write-set object at its owner.
+	KindAcquire transport.Kind = 12
+	// KindRelease drops commit locks after a failed commit.
+	KindRelease transport.Kind = 13
+	// KindCommitObject installs the new version and migrates ownership.
+	KindCommitObject transport.Kind = 14
+	// KindPush hands an object to an enqueued requester (one-way).
+	KindPush transport.Kind = 15
+	// KindDecline tells an owner the pushed requester is gone (one-way).
+	KindDecline transport.Kind = 16
+)
+
+// retrieveReq is Open_Object's wire request: object ID, transaction ID, the
+// requester's contention level (myCL), and its ETS execution-time stamps
+// carried as durations (elapsed = ETS.r−ETS.s, remaining = ETS.c−ETS.r).
+type retrieveReq struct {
+	Oid     object.ID
+	TxID    uint64
+	Mode    sched.Mode
+	MyCL    int
+	Elapsed time.Duration
+	Remain  time.Duration
+}
+
+// retrieveResp answers a retrieve.
+type retrieveResp struct {
+	// Status disposition; see retrieve* constants.
+	Status retrieveStatus
+	// Value and Version are set when Status == retrieveOK.
+	Value   object.Value
+	Version object.Version
+	// RemoteCL is the object's local contention level at the owner; the
+	// requester accumulates it into its myCL.
+	RemoteCL int
+	// Backoff is the enqueue wait budget when Status == retrieveEnqueued.
+	Backoff time.Duration
+	// OwnerClock is the owner's TFA clock, used for forwarding checks.
+	OwnerClock uint64
+}
+
+type retrieveStatus uint8
+
+const (
+	retrieveOK retrieveStatus = iota
+	retrieveDenied
+	retrieveEnqueued
+	retrieveNotOwner
+)
+
+// checkReq validates that oid still has version Ver and is not being
+// committed by another transaction (TxID identifies the validator, whose
+// own locks do not invalidate it).
+type checkReq struct {
+	Oid  object.ID
+	Ver  object.Version
+	TxID uint64
+}
+
+// checkResp reports validation outcome.
+type checkResp struct {
+	OK       bool
+	NotOwner bool
+}
+
+// acquireReq commit-locks oid for TxID if its version is still Ver.
+type acquireReq struct {
+	Oid  object.ID
+	TxID uint64
+	Ver  object.Version
+}
+
+// acquireResp reports the lock outcome (object.LockResult semantics).
+type acquireResp struct {
+	Result uint8
+}
+
+// releaseReq unlocks objects after a failed commit.
+type releaseReq struct {
+	Oids []object.ID
+	TxID uint64
+}
+
+// commitObjReq installs a new committed version at the old owner and
+// migrates ownership to the committer. The old owner responds with its
+// requester queue so scheduling state travels with the object.
+type commitObjReq struct {
+	Oid      object.ID
+	TxID     uint64
+	NewVer   object.Version
+	NewValue object.Value
+	NewOwner transport.NodeID
+}
+
+// commitObjResp acknowledges the migration and hands over the queue.
+type commitObjResp struct {
+	Queue []sched.Request
+}
+
+// pushMsg hands a committed object to an enqueued requester. Owner is the
+// node now owning the object (where its commit lock will be taken next).
+type pushMsg struct {
+	Oid     object.ID
+	TxID    uint64 // destination transaction
+	Value   object.Value
+	Version object.Version
+	Owner   transport.NodeID
+	// OwnerClock for forwarding at the receiver.
+	OwnerClock uint64
+	RemoteCL   int
+}
+
+// declineMsg tells the owner that the pushed transaction no longer exists;
+// the owner forwards the object to the next queued requester.
+type declineMsg struct {
+	Oid object.ID
+}
+
+func init() {
+	transport.RegisterPayload(retrieveReq{})
+	transport.RegisterPayload(retrieveResp{})
+	transport.RegisterPayload(checkReq{})
+	transport.RegisterPayload(checkResp{})
+	transport.RegisterPayload(acquireReq{})
+	transport.RegisterPayload(acquireResp{})
+	transport.RegisterPayload(releaseReq{})
+	transport.RegisterPayload(commitObjReq{})
+	transport.RegisterPayload(commitObjResp{})
+	transport.RegisterPayload(pushMsg{})
+	transport.RegisterPayload(declineMsg{})
+}

@@ -1,0 +1,322 @@
+package stm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"dstm/internal/cc"
+	"dstm/internal/cluster"
+	"dstm/internal/object"
+	"dstm/internal/sched"
+	"dstm/internal/stats"
+	"dstm/internal/transport"
+	"dstm/internal/vclock"
+)
+
+// Runtime is one node's D-STM engine: the TFA transaction manager, the
+// owner-side object protocol (retrieve / validate / lock / commit /
+// hand-off), and the hook point for the transactional scheduler.
+//
+// Construct one Runtime per node with NewRuntime, then start transactions
+// with Atomic. The Runtime is the "TM proxy" of Herlihy & Sun's model.
+type Runtime struct {
+	ep      *cluster.Endpoint
+	clock   *vclock.Clock
+	store   *object.Store
+	locator *cc.Service
+	policy  sched.Policy
+	stats   *stats.Table
+	metrics *Metrics
+
+	txSeq uint64
+	seqMu sync.Mutex
+
+	waitMu  sync.Mutex
+	waiters map[waitKey]chan pushMsg
+
+	nesting NestingMode
+}
+
+type waitKey struct {
+	tx  uint64
+	oid object.ID
+}
+
+// NestingMode selects how Txn.Atomic treats inner atomic blocks.
+type NestingMode uint8
+
+// Nesting modes (paper §I): closed nesting lets an inner transaction abort
+// and retry without disturbing its parent; flat nesting inlines inner
+// blocks into the parent, so any inner failure aborts the whole top-level
+// transaction.
+const (
+	ClosedNesting NestingMode = iota
+	FlatNesting
+)
+
+func (m NestingMode) String() string {
+	if m == FlatNesting {
+		return "flat"
+	}
+	return "closed"
+}
+
+// feedbacker is implemented by policies that adapt to outcomes (RTS's
+// adaptive CL threshold).
+type feedbacker interface{ Feedback(committed bool) }
+
+// NewRuntime wires a Runtime onto an endpoint. size is the cluster size
+// (for directory placement); policy is the transactional scheduler; st is
+// the per-node transaction stats table (may be nil for a default).
+func NewRuntime(ep *cluster.Endpoint, size int, policy sched.Policy, st *stats.Table) *Runtime {
+	if st == nil {
+		st = stats.NewTable(time.Millisecond)
+	}
+	rt := &Runtime{
+		ep:      ep,
+		clock:   ep.Clock(),
+		store:   object.NewStore(),
+		locator: cc.NewService(ep, size),
+		policy:  policy,
+		stats:   st,
+		metrics: &Metrics{},
+		waiters: make(map[waitKey]chan pushMsg),
+	}
+	ep.Handle(KindRetrieve, rt.handleRetrieve)
+	ep.Handle(KindCheckVersion, rt.handleCheckVersion)
+	ep.Handle(KindAcquire, rt.handleAcquire)
+	ep.Handle(KindRelease, rt.handleRelease)
+	ep.Handle(KindCommitObject, rt.handleCommitObject)
+	ep.HandleNotify(KindPush, rt.handlePush)
+	ep.HandleNotify(KindDecline, rt.handleDecline)
+	return rt
+}
+
+// Self returns this node's ID.
+func (rt *Runtime) Self() transport.NodeID { return rt.ep.Self() }
+
+// SetNesting selects closed (default) or flat nesting for inner atomic
+// blocks started through Txn.Atomic. Call before running transactions.
+func (rt *Runtime) SetNesting(m NestingMode) { rt.nesting = m }
+
+// Nesting returns the runtime's nesting mode.
+func (rt *Runtime) Nesting() NestingMode { return rt.nesting }
+
+// Metrics returns the node's transaction outcome counters.
+func (rt *Runtime) Metrics() *Metrics { return rt.metrics }
+
+// Policy returns the node's transactional scheduler.
+func (rt *Runtime) Policy() sched.Policy { return rt.policy }
+
+// Stats returns the node's transaction stats table.
+func (rt *Runtime) Stats() *stats.Table { return rt.stats }
+
+// Store exposes the owner-side object store (tests and setup helpers).
+func (rt *Runtime) Store() *object.Store { return rt.store }
+
+// Locator exposes the node's CC service (tests and setup helpers).
+func (rt *Runtime) Locator() *cc.Service { return rt.locator }
+
+func (rt *Runtime) nextTxID() uint64 {
+	rt.seqMu.Lock()
+	rt.txSeq++
+	seq := rt.txSeq
+	rt.seqMu.Unlock()
+	// Node-unique transaction IDs: node in the top bits, sequence below.
+	return uint64(rt.ep.Self())<<40 | seq
+}
+
+// CreateRoot seeds an object during setup: installs it locally and
+// registers it with its home directory, outside any transaction.
+func (rt *Runtime) CreateRoot(ctx context.Context, id object.ID, val object.Value) error {
+	rt.store.Install(id, val, object.Version{})
+	return rt.locator.Register(ctx, id, rt.Self())
+}
+
+// ---------------------------------------------------------------------------
+// Owner-side protocol handlers.
+
+func (rt *Runtime) handleRetrieve(from transport.NodeID, payload any) (any, error) {
+	req, ok := payload.(retrieveReq)
+	if !ok {
+		return nil, fmt.Errorf("stm: bad retrieve payload %T", payload)
+	}
+	localCL := rt.policy.ObserveRequest(req.Oid, req.TxID)
+
+	val, ver, locked, owned := rt.store.Snapshot(req.Oid)
+	if !owned {
+		return retrieveResp{Status: retrieveNotOwner}, nil
+	}
+	if !locked {
+		return retrieveResp{
+			Status:     retrieveOK,
+			Value:      val,
+			Version:    ver,
+			RemoteCL:   localCL,
+			OwnerClock: rt.clock.Now(),
+		}, nil
+	}
+
+	// The object is being validated by a committing transaction: a
+	// conflict. The transactional scheduler decides (RTS Algorithm 3).
+	dec := rt.policy.OnConflict(sched.Request{
+		Oid:               req.Oid,
+		TxID:              req.TxID,
+		Node:              from,
+		Mode:              req.Mode,
+		MyCL:              req.MyCL,
+		Elapsed:           req.Elapsed,
+		ExpectedRemaining: req.Remain,
+	})
+	if dec.Enqueue {
+		rt.metrics.enqueues.Add(1)
+		return retrieveResp{
+			Status:   retrieveEnqueued,
+			RemoteCL: localCL,
+			Backoff:  dec.Backoff,
+		}, nil
+	}
+	return retrieveResp{Status: retrieveDenied, RemoteCL: localCL}, nil
+}
+
+func (rt *Runtime) handleCheckVersion(_ transport.NodeID, payload any) (any, error) {
+	req, ok := payload.(checkReq)
+	if !ok {
+		return nil, fmt.Errorf("stm: bad check payload %T", payload)
+	}
+	ver, lockedBy, owned := rt.store.State(req.Oid)
+	if !owned {
+		return checkResp{NotOwner: true}, nil
+	}
+	// A version is valid only if unchanged AND not mid-commit by another
+	// transaction (whose new version would be installed momentarily).
+	ok = ver.Equal(req.Ver) && (lockedBy == 0 || lockedBy == req.TxID)
+	return checkResp{OK: ok}, nil
+}
+
+func (rt *Runtime) handleAcquire(_ transport.NodeID, payload any) (any, error) {
+	req, ok := payload.(acquireReq)
+	if !ok {
+		return nil, fmt.Errorf("stm: bad acquire payload %T", payload)
+	}
+	res := rt.store.Lock(req.Oid, req.TxID, req.Ver)
+	return acquireResp{Result: uint8(res)}, nil
+}
+
+func (rt *Runtime) handleRelease(_ transport.NodeID, payload any) (any, error) {
+	req, ok := payload.(releaseReq)
+	if !ok {
+		return nil, fmt.Errorf("stm: bad release payload %T", payload)
+	}
+	for _, oid := range req.Oids {
+		rt.store.Unlock(oid, req.TxID)
+		// The commit failed, so the object stays here unchanged; hand the
+		// current value to any queued requesters — unless the object is
+		// (still) locked by someone else (e.g. this was a conservative
+		// release of a lock that was never actually held).
+		if !rt.store.Locked(oid) {
+			rt.serveQueue(oid, rt.policy.OnRelease(oid))
+		}
+	}
+	return releaseReq{}, nil
+}
+
+func (rt *Runtime) handleCommitObject(from transport.NodeID, payload any) (any, error) {
+	req, ok := payload.(commitObjReq)
+	if !ok {
+		return nil, fmt.Errorf("stm: bad commit payload %T", payload)
+	}
+	// Ownership migrates to the committer: drop the local copy (requires
+	// the committer to hold the commit lock) and surrender the requester
+	// queue so scheduling state travels with the object.
+	if err := rt.store.Remove(req.Oid, req.TxID); err != nil {
+		return nil, err
+	}
+	queue := rt.policy.ExtractQueue(req.Oid)
+	return commitObjResp{Queue: queue}, nil
+}
+
+// serveQueue pushes the current (or given) object state to the requesters
+// popped from the scheduler queue.
+func (rt *Runtime) serveQueue(oid object.ID, reqs []sched.Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	val, ver, _, owned := rt.store.Snapshot(oid)
+	if !owned {
+		return
+	}
+	for _, r := range reqs {
+		rt.pushTo(r, val.Copy(), ver)
+	}
+}
+
+// pushTo hands one object copy to a parked requester.
+func (rt *Runtime) pushTo(r sched.Request, val object.Value, ver object.Version) {
+	remoteCL := rt.policy.ObserveRequest(r.Oid, r.TxID)
+	_ = rt.ep.Notify(r.Node, KindPush, pushMsg{
+		Oid:        r.Oid,
+		TxID:       r.TxID,
+		Value:      val,
+		Version:    ver,
+		Owner:      rt.Self(),
+		OwnerClock: rt.clock.Now(),
+		RemoteCL:   remoteCL,
+	})
+}
+
+// handlePush delivers a pushed object to the parked transaction, or
+// declines so the owner forwards it to the next requester (Algorithm 4).
+func (rt *Runtime) handlePush(from transport.NodeID, payload any) {
+	msg, ok := payload.(pushMsg)
+	if !ok {
+		return
+	}
+	rt.waitMu.Lock()
+	ch, waiting := rt.waiters[waitKey{tx: msg.TxID, oid: msg.Oid}]
+	rt.waitMu.Unlock()
+	if !waiting {
+		_ = rt.ep.Notify(from, KindDecline, declineMsg{Oid: msg.Oid})
+		return
+	}
+	select {
+	case ch <- msg:
+		rt.metrics.pushes.Add(1)
+	default:
+		// Duplicate push; the first one wins.
+	}
+}
+
+func (rt *Runtime) handleDecline(_ transport.NodeID, payload any) {
+	msg, ok := payload.(declineMsg)
+	if !ok {
+		return
+	}
+	rt.serveQueue(msg.Oid, rt.policy.OnDecline(msg.Oid))
+}
+
+// ---------------------------------------------------------------------------
+// Waiter registry (requester side of the enqueue protocol).
+
+func (rt *Runtime) registerWaiter(tx uint64, oid object.ID) chan pushMsg {
+	ch := make(chan pushMsg, 1)
+	rt.waitMu.Lock()
+	rt.waiters[waitKey{tx: tx, oid: oid}] = ch
+	rt.waitMu.Unlock()
+	return ch
+}
+
+func (rt *Runtime) deregisterWaiter(tx uint64, oid object.ID) {
+	rt.waitMu.Lock()
+	delete(rt.waiters, waitKey{tx: tx, oid: oid})
+	rt.waitMu.Unlock()
+}
+
+// feedback reports a root-transaction outcome to adaptive policies.
+func (rt *Runtime) feedback(committed bool) {
+	if f, ok := rt.policy.(feedbacker); ok {
+		f.Feedback(committed)
+	}
+}

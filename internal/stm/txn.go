@@ -1,0 +1,611 @@
+package stm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dstm/internal/object"
+	"dstm/internal/sched"
+)
+
+// abortError unwinds an aborting transaction to the level that must retry.
+// Closed nesting: a failure attributed to an inner transaction aborts only
+// that inner transaction; a failure attributed to an ancestor aborts the
+// ancestor and every (committed or running) transaction nested inside it.
+type abortError struct {
+	target *Txn
+	cause  AbortCause
+}
+
+func (e *abortError) Error() string {
+	return fmt.Sprintf("stm: transaction aborted (%s)", e.cause)
+}
+
+// maxOwnerHops bounds stale-owner-hint chases during a fetch.
+const maxOwnerHops = 8
+
+// Txn is a (possibly closed-nested) transaction. Obtain a root transaction
+// from Runtime.Atomic and children from Txn.Atomic. A Txn is confined to
+// the goroutine executing its atomic block.
+type Txn struct {
+	rt     *Runtime
+	id     uint64 // root transaction ID, shared by all nested levels
+	lockID uint64 // per-ATTEMPT identity used for commit locks (root only)
+	name   string
+	parent *Txn
+	root   *Txn
+
+	// Root-only fields (TFA state).
+	began    time.Time
+	expected time.Duration
+	start    uint64 // TFA start clock; advanced by forwarding
+
+	entries        map[object.ID]*objEntry
+	clSum          int // Σ remote CLs of objects fetched at this level
+	mergedChildren int // inner commits merged into this level (transitive)
+}
+
+// objEntry is one object's transaction-local state: the working copy, the
+// version observed at fetch, and write/create flags. inherited marks a
+// copy-on-write entry whose version was observed by an ANCESTOR — if it
+// turns out stale, the ancestor's snapshot is broken and the ancestor must
+// abort, not this level.
+type objEntry struct {
+	val       object.Value
+	ver       object.Version
+	dirty     bool
+	created   bool
+	inherited bool
+}
+
+// Atomic runs fn as a top-level transaction, retrying on conflicts until it
+// commits, the context is cancelled, or fn returns a non-transactional
+// error (which aborts the transaction and is returned as-is).
+func (rt *Runtime) Atomic(ctx context.Context, name string, fn func(tx *Txn) error) error {
+	id := rt.nextTxID()
+	// ETS.s is the transaction's original start time: it persists across
+	// retry attempts, so the "execution time" the scheduler weighs keeps
+	// growing while the transaction keeps losing (paper Fig. 3: T4's
+	// execution time is |t4 − t1|, measured from its first start).
+	began := time.Now()
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tx := &Txn{
+			rt:   rt,
+			id:   id,
+			name: name,
+			// Each attempt locks under a fresh identity so a stale lock
+			// request from a cancelled attempt can never be confused with
+			// (or resurrect over) a newer attempt's locks.
+			lockID:   rt.nextTxID(),
+			began:    began,
+			expected: rt.stats.Expect(name),
+			start:    rt.clock.Now(),
+			entries:  make(map[object.ID]*objEntry),
+		}
+		tx.root = tx
+
+		err := fn(tx)
+		if err == nil {
+			err = tx.commit(ctx)
+		}
+		if err == nil {
+			rt.metrics.commits.Add(1)
+			rt.feedback(true)
+			return nil
+		}
+
+		var ae *abortError
+		if !errors.As(err, &ae) {
+			// Application error: the transaction's effects are discarded
+			// and the error surfaces to the caller without retry.
+			return err
+		}
+		rt.metrics.aborts[ae.cause].Add(1)
+		// Every inner transaction that had committed into this root is
+		// rolled back with it (Table I's "aborts due to parent abort").
+		rt.metrics.nestedParent.Add(uint64(tx.mergedChildren))
+		rt.feedback(false)
+
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if d := rt.policy.RetryDelay(attempt, name); d > 0 {
+			if !sleepCtx(ctx, d) {
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+// Atomic runs fn as a closed-nested inner transaction. The inner
+// transaction's effects become part of the parent only when fn returns nil
+// and its early validation passes; an inner abort retries just the inner
+// transaction. If an enclosing transaction must abort, the error
+// propagates (do not swallow errors from Read/Write/Atomic).
+//
+// fn may run several times: any state it writes outside the transaction
+// must be overwrite-style (reset at the top of fn), never accumulative.
+func (tx *Txn) Atomic(ctx context.Context, name string, fn func(child *Txn) error) error {
+	rt := tx.rt
+	if rt.nesting == FlatNesting {
+		// Flat nesting: the inner block is inlined into the enclosing
+		// transaction — no private sets, no partial abort; any conflict
+		// unwinds and restarts the whole top-level transaction.
+		return fn(tx)
+	}
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		child := &Txn{
+			rt:      rt,
+			id:      tx.id,
+			name:    name,
+			parent:  tx,
+			root:    tx.root,
+			entries: make(map[object.ID]*objEntry),
+		}
+		err := fn(child)
+		if err == nil {
+			// Early validation (N-TFA): an inner commit validates the
+			// inner transaction's own read set immediately, so a stale
+			// inner read aborts (and retries) just the inner transaction
+			// now instead of killing the whole parent at top-level commit.
+			err = child.validateOwn(ctx)
+		}
+		if err == nil {
+			child.mergeIntoParent()
+			rt.metrics.nestedCommits.Add(1)
+			return nil
+		}
+
+		var ae *abortError
+		if !errors.As(err, &ae) {
+			return err // application error: inner effects discarded
+		}
+		if ae.target == child {
+			// Closed nesting: only the inner transaction aborts; its own
+			// committed children are rolled back with it.
+			rt.metrics.nestedOwn.Add(1)
+			rt.metrics.nestedParent.Add(uint64(child.mergedChildren))
+			if d := rt.policy.RetryDelay(attempt, name); d > 0 {
+				if !sleepCtx(ctx, d) {
+					return ctx.Err()
+				}
+			}
+			continue
+		}
+		// An enclosing transaction aborts: this running child dies with it.
+		rt.metrics.nestedParent.Add(uint64(1 + child.mergedChildren))
+		return err
+	}
+}
+
+func (child *Txn) mergeIntoParent() {
+	p := child.parent
+	for oid, e := range child.entries {
+		p.entries[oid] = e
+	}
+	p.clSum += child.clSum
+	p.mergedChildren += 1 + child.mergedChildren
+}
+
+// lookup finds oid's entry in this transaction or any ancestor
+// (read-your-writes through the nesting chain).
+func (tx *Txn) lookup(oid object.ID) (*objEntry, *Txn) {
+	for t := tx; t != nil; t = t.parent {
+		if e, ok := t.entries[oid]; ok {
+			return e, t
+		}
+	}
+	return nil, nil
+}
+
+// myCL is the transaction's remote contention level: the sum of the local
+// CLs (reported by owners) of every object the transaction chain holds.
+func (tx *Txn) myCL() int {
+	sum := 0
+	for t := tx; t != nil; t = t.parent {
+		sum += t.clSum
+	}
+	return sum
+}
+
+// Read returns the transaction's view of oid, fetching it from its owner
+// on first access. The returned value is the transaction's working copy:
+// do not mutate it — use Write or Update to change the object.
+func (tx *Txn) Read(ctx context.Context, oid object.ID) (object.Value, error) {
+	if e, _ := tx.lookup(oid); e != nil {
+		return e.val, nil
+	}
+	e, err := tx.fetch(ctx, oid, sched.Read)
+	if err != nil {
+		return nil, err
+	}
+	return e.val, nil
+}
+
+// Write buffers a new value for oid, fetching the object first if this
+// transaction chain has not accessed it yet (the dataflow model moves the
+// object to the writer).
+func (tx *Txn) Write(ctx context.Context, oid object.ID, val object.Value) error {
+	if e, holder := tx.lookup(oid); e != nil {
+		if holder == tx {
+			e.val = val
+			e.dirty = true
+			return nil
+		}
+		// Copy-on-write into this nesting level so an abort of this inner
+		// transaction leaves the ancestor's view intact.
+		tx.entries[oid] = &objEntry{val: val, ver: e.ver, dirty: true, created: e.created, inherited: true}
+		return nil
+	}
+	e, err := tx.fetch(ctx, oid, sched.Write)
+	if err != nil {
+		return err
+	}
+	e.val = val
+	e.dirty = true
+	return nil
+}
+
+// Update applies fn to a private copy of the object's current value and
+// writes the result back. fn must return the value to store.
+func (tx *Txn) Update(ctx context.Context, oid object.ID, fn func(object.Value) object.Value) error {
+	cur, err := tx.Read(ctx, oid)
+	if err != nil {
+		return err
+	}
+	return tx.Write(ctx, oid, fn(cur.Copy()))
+}
+
+// Create buffers a brand-new object. It becomes visible to other
+// transactions when the top-level transaction commits. Object IDs must be
+// unique cluster-wide; colliding creates surface as a commit error.
+func (tx *Txn) Create(oid object.ID, val object.Value) error {
+	if e, _ := tx.lookup(oid); e != nil {
+		return fmt.Errorf("stm: create %q: already accessed in this transaction", oid)
+	}
+	tx.entries[oid] = &objEntry{val: val, dirty: true, created: true}
+	return nil
+}
+
+// ID returns the root transaction ID shared by the nesting chain.
+func (tx *Txn) ID() uint64 { return tx.id }
+
+// convertErr maps infrastructure errors on the hot path to transaction
+// aborts (retried), while letting cancellation and shutdown surface as-is.
+func (tx *Txn) convertErr(ctx context.Context, err error, cause AbortCause) error {
+	if err == nil {
+		return nil
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	var ae *abortError
+	if errors.As(err, &ae) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return &abortError{target: tx.root, cause: cause}
+}
+
+// fetch implements Open_Object (Algorithm 2): locate the owner, request
+// the object with myCL and ETS attached, and either receive it, abort, or
+// park for the scheduler-assigned backoff waiting for a hand-off push.
+func (tx *Txn) fetch(ctx context.Context, oid object.ID, mode sched.Mode) (*objEntry, error) {
+	rt := tx.rt
+	root := tx.root
+	rt.metrics.retrieves.Add(1)
+
+	for hop := 0; hop < maxOwnerHops; hop++ {
+		owner, err := rt.locator.Locate(ctx, oid)
+		if err != nil {
+			return nil, err // unknown object: an application-level error
+		}
+
+		elapsed := time.Since(root.began)
+		remain := root.expected - elapsed
+		if remain <= 0 {
+			remain = root.expected / 4
+			if remain <= 0 {
+				remain = 50 * time.Microsecond
+			}
+		}
+
+		// Register the waiter before the request so a hand-off push can
+		// never race past us.
+		ch := rt.registerWaiter(tx.id, oid)
+		body, err := rt.ep.Call(ctx, owner, KindRetrieve, retrieveReq{
+			Oid:     oid,
+			TxID:    tx.id,
+			Mode:    mode,
+			MyCL:    tx.myCL(),
+			Elapsed: elapsed,
+			Remain:  remain,
+		})
+		if err != nil {
+			rt.deregisterWaiter(tx.id, oid)
+			return nil, tx.convertErr(ctx, err, AbortDenied)
+		}
+		resp, ok := body.(retrieveResp)
+		if !ok {
+			rt.deregisterWaiter(tx.id, oid)
+			return nil, fmt.Errorf("stm: bad retrieve reply %T", body)
+		}
+
+		switch resp.Status {
+		case retrieveOK:
+			rt.deregisterWaiter(tx.id, oid)
+			return tx.adoptFetched(ctx, oid, resp.Value, resp.Version, resp.RemoteCL, resp.OwnerClock, owner)
+
+		case retrieveNotOwner:
+			rt.deregisterWaiter(tx.id, oid)
+			if _, err := rt.locator.Relocate(ctx, oid); err != nil {
+				return nil, tx.convertErr(ctx, err, AbortDenied)
+			}
+			continue
+
+		case retrieveDenied:
+			rt.deregisterWaiter(tx.id, oid)
+			return nil, &abortError{target: root, cause: AbortDenied}
+
+		case retrieveEnqueued:
+			if resp.Backoff <= 0 {
+				rt.deregisterWaiter(tx.id, oid)
+				return nil, &abortError{target: root, cause: AbortDenied}
+			}
+			timer := time.NewTimer(resp.Backoff)
+			select {
+			case msg := <-ch:
+				timer.Stop()
+				rt.deregisterWaiter(tx.id, oid)
+				rt.locator.NoteOwner(oid, msg.Owner)
+				return tx.adoptFetched(ctx, oid, msg.Value, msg.Version, msg.RemoteCL, msg.OwnerClock, msg.Owner)
+			case <-timer.C:
+				// Backoff expired before the object arrived: the parent
+				// aborts, losing its committed children (paper §IV-B).
+				rt.deregisterWaiter(tx.id, oid)
+				return nil, &abortError{target: root, cause: AbortQueueTimeout}
+			case <-ctx.Done():
+				timer.Stop()
+				rt.deregisterWaiter(tx.id, oid)
+				return nil, ctx.Err()
+			}
+
+		default:
+			rt.deregisterWaiter(tx.id, oid)
+			return nil, fmt.Errorf("stm: unknown retrieve status %d", resp.Status)
+		}
+	}
+	return nil, &abortError{target: root, cause: AbortDenied}
+}
+
+// adoptFetched records a received object copy at this nesting level after
+// the transactional-forwarding check.
+func (tx *Txn) adoptFetched(ctx context.Context, oid object.ID, val object.Value, ver object.Version,
+	remoteCL int, ownerClock uint64, _ any) (*objEntry, error) {
+	if err := tx.forward(ctx, ownerClock); err != nil {
+		return nil, err
+	}
+	e := &objEntry{val: val, ver: ver}
+	tx.entries[oid] = e
+	tx.clSum += remoteCL
+	return e, nil
+}
+
+// forward implements TFA's transactional forwarding: when the transaction
+// observes an owner clock ahead of its start time, it revalidates its read
+// set and, if intact, advances its start time; a stale entry aborts the
+// innermost level holding it.
+func (tx *Txn) forward(ctx context.Context, ownerClock uint64) error {
+	root := tx.root
+	if ownerClock <= root.start {
+		return nil
+	}
+	if err := tx.validateChain(ctx); err != nil {
+		return err
+	}
+	root.start = ownerClock
+	return nil
+}
+
+// validateChain re-checks every fetched entry along the nesting chain
+// against its owner's current version. Checks for independent objects run
+// concurrently; a stale entry aborts the innermost transaction holding it
+// (closed nesting partial abort) — when several entries are stale, the
+// outermost affected level wins, since its abort subsumes the others.
+func (tx *Txn) validateChain(ctx context.Context) error {
+	type item struct {
+		oid   object.ID
+		ver   object.Version
+		level *Txn
+		depth int
+	}
+	var items []item
+	depth := 0
+	for t := tx; t != nil; t = t.parent {
+		for oid, e := range t.entries {
+			if e.created {
+				continue
+			}
+			level, d := t, depth
+			if e.inherited {
+				// The version was observed by an ancestor; retrying this
+				// level alone would re-read the same doomed snapshot.
+				level, d = tx.root, 1<<30
+			}
+			items = append(items, item{oid: oid, ver: e.ver, level: level, depth: d})
+		}
+		depth++
+	}
+	if len(items) == 0 {
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	var staleTarget *Txn
+	staleDepth := -1
+	for _, it := range items {
+		wg.Add(1)
+		go func(it item) {
+			defer wg.Done()
+			ok, err := tx.checkVersion(ctx, it.oid, it.ver)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			if !ok && it.depth > staleDepth {
+				staleDepth = it.depth
+				staleTarget = it.level
+			}
+		}(it)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return tx.convertErr(ctx, firstErr, AbortValidation)
+	}
+	if staleTarget != nil {
+		return &abortError{target: staleTarget, cause: AbortValidation}
+	}
+	return nil
+}
+
+// validateOwn concurrently re-checks every non-created entry fetched at
+// this nesting level, aborting this level if any is stale (inner-commit
+// early validation).
+func (tx *Txn) validateOwn(ctx context.Context) error {
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var staleOwn bool
+	var staleInherited []object.ID
+	for oid, e := range tx.entries {
+		if e.created {
+			continue
+		}
+		wg.Add(1)
+		go func(oid object.ID, ver object.Version, inherited bool) {
+			defer wg.Done()
+			ok, err := tx.checkVersion(ctx, oid, ver)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err == nil && !ok {
+				if inherited {
+					staleInherited = append(staleInherited, oid)
+				} else {
+					staleOwn = true
+				}
+			}
+		}(oid, e.ver, e.inherited)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return tx.convertErr(ctx, firstErr, AbortValidation)
+	}
+	if len(staleInherited) > 0 {
+		// The stale version was observed by an ancestor: retrying this
+		// inner transaction would re-read the same doomed snapshot forever
+		// (the classic partial-abort livelock). The enclosing snapshot is
+		// broken, so the whole top-level transaction restarts.
+		return &abortError{target: tx.root, cause: AbortValidation}
+	}
+	if staleOwn {
+		return &abortError{target: tx, cause: AbortValidation}
+	}
+	return nil
+}
+
+// validateMany concurrently checks a set of this transaction's read
+// entries, aborting this level if any is stale.
+func (tx *Txn) validateMany(ctx context.Context, oids []object.ID) error {
+	if len(oids) == 0 {
+		return nil
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	stale := false
+	for _, oid := range oids {
+		wg.Add(1)
+		go func(oid object.ID) {
+			defer wg.Done()
+			e := tx.entries[oid]
+			ok, err := tx.checkVersion(ctx, oid, e.ver)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err == nil && !ok {
+				stale = true
+			}
+		}(oid)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return tx.convertErr(ctx, firstErr, AbortValidation)
+	}
+	if stale {
+		return &abortError{target: tx.root, cause: AbortValidation}
+	}
+	return nil
+}
+
+// checkVersion asks oid's owner whether the version is still current,
+// chasing stale owner hints.
+func (tx *Txn) checkVersion(ctx context.Context, oid object.ID, ver object.Version) (bool, error) {
+	rt := tx.rt
+	for hop := 0; hop < maxOwnerHops; hop++ {
+		owner, err := rt.locator.Locate(ctx, oid)
+		if err != nil {
+			return false, err
+		}
+		body, err := rt.ep.Call(ctx, owner, KindCheckVersion, checkReq{Oid: oid, Ver: ver, TxID: tx.root.lockID})
+		if err != nil {
+			return false, err
+		}
+		resp, ok := body.(checkResp)
+		if !ok {
+			return false, fmt.Errorf("stm: bad check reply %T", body)
+		}
+		if resp.NotOwner {
+			if _, err := rt.locator.Relocate(ctx, oid); err != nil {
+				return false, err
+			}
+			continue
+		}
+		return resp.OK, nil
+	}
+	// The object moved more times than we are willing to chase: treat the
+	// entry as stale (the mover committed new versions anyway).
+	return false, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

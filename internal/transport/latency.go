@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"time"
+)
+
+// LatencyModel yields the one-way delay charged to a message on the link
+// from one node to another. Implementations must be safe for concurrent
+// use and deterministic per (from, to) pair so message order per link is
+// well defined.
+type LatencyModel interface {
+	Delay(from, to NodeID) time.Duration
+}
+
+// ZeroLatency delivers instantly; useful in unit tests.
+type ZeroLatency struct{}
+
+// Delay implements LatencyModel.
+func (ZeroLatency) Delay(_, _ NodeID) time.Duration { return 0 }
+
+// UniformLatency charges the same delay on every link.
+type UniformLatency time.Duration
+
+// Delay implements LatencyModel.
+func (u UniformLatency) Delay(_, _ NodeID) time.Duration { return time.Duration(u) }
+
+// MetricLatency reproduces the paper's static network: each ordered pair of
+// distinct nodes gets a fixed delay drawn deterministically from [Min, Max]
+// (paper: 1–50 ms), symmetric (d(i,j) == d(j,i)) so it behaves like a
+// metric-space distance. Self-links cost zero. Scale rescales the whole
+// band, letting benchmarks run the 1–50 ms topology in microseconds.
+type MetricLatency struct {
+	Min, Max time.Duration
+	Scale    float64 // 0 means 1.0
+	Seed     uint64
+}
+
+// Delay implements LatencyModel.
+func (m MetricLatency) Delay(from, to NodeID) time.Duration {
+	if from == to {
+		return 0
+	}
+	// Symmetric: order the pair.
+	a, b := from, to
+	if a > b {
+		a, b = b, a
+	}
+	h := splitmix64(uint64(a)<<32 | uint64(uint32(b)) ^ m.Seed*0x9e3779b97f4a7c15)
+	span := int64(m.Max - m.Min)
+	if span < 0 {
+		span = 0
+	}
+	d := m.Min
+	if span > 0 {
+		d += time.Duration(int64(h % uint64(span+1)))
+	}
+	scale := m.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	return time.Duration(float64(d) * scale)
+}
+
+// splitmix64 is the SplitMix64 mixing function; a tiny, high-quality,
+// allocation-free hash for deterministic per-pair delays.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

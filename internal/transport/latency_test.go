@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroLatency(t *testing.T) {
+	if d := (ZeroLatency{}).Delay(1, 2); d != 0 {
+		t.Fatalf("ZeroLatency.Delay = %v", d)
+	}
+}
+
+func TestUniformLatency(t *testing.T) {
+	u := UniformLatency(5 * time.Millisecond)
+	if d := u.Delay(0, 7); d != 5*time.Millisecond {
+		t.Fatalf("UniformLatency.Delay = %v", d)
+	}
+}
+
+func TestMetricLatencyBounds(t *testing.T) {
+	m := MetricLatency{Min: time.Millisecond, Max: 50 * time.Millisecond, Seed: 42}
+	for i := NodeID(0); i < 20; i++ {
+		for j := NodeID(0); j < 20; j++ {
+			d := m.Delay(i, j)
+			if i == j {
+				if d != 0 {
+					t.Fatalf("self-delay(%d) = %v", i, d)
+				}
+				continue
+			}
+			if d < m.Min || d > m.Max {
+				t.Fatalf("Delay(%d,%d) = %v out of [%v,%v]", i, j, d, m.Min, m.Max)
+			}
+		}
+	}
+}
+
+// Property: the metric is symmetric and deterministic.
+func TestMetricLatencySymmetricDeterministic(t *testing.T) {
+	m := MetricLatency{Min: time.Millisecond, Max: 50 * time.Millisecond, Seed: 7}
+	f := func(a, b int32) bool {
+		i, j := NodeID(a), NodeID(b)
+		return m.Delay(i, j) == m.Delay(j, i) && m.Delay(i, j) == m.Delay(i, j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricLatencyScale(t *testing.T) {
+	base := MetricLatency{Min: 10 * time.Millisecond, Max: 10 * time.Millisecond}
+	scaled := MetricLatency{Min: 10 * time.Millisecond, Max: 10 * time.Millisecond, Scale: 0.001}
+	if d := base.Delay(1, 2); d != 10*time.Millisecond {
+		t.Fatalf("unscaled = %v", d)
+	}
+	if d := scaled.Delay(1, 2); d != 10*time.Microsecond {
+		t.Fatalf("scaled = %v, want 10µs", d)
+	}
+}
+
+func TestMetricLatencyVariesAcrossPairs(t *testing.T) {
+	m := MetricLatency{Min: time.Millisecond, Max: 50 * time.Millisecond, Seed: 1}
+	seen := map[time.Duration]bool{}
+	for j := NodeID(1); j <= 30; j++ {
+		seen[m.Delay(0, j)] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("only %d distinct delays across 30 links; model degenerate", len(seen))
+	}
+}

@@ -1,0 +1,211 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemnetBasicDelivery(t *testing.T) {
+	n := NewNetwork(ZeroLatency{})
+	defer n.Close()
+	a := n.Endpoint(0)
+	b := n.Endpoint(1)
+
+	got := make(chan *Message, 1)
+	b.SetHandler(func(m *Message) { got <- m })
+
+	if err := a.Send(&Message{From: 0, To: 1, Kind: 7, Payload: "hello"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Payload != "hello" || m.Kind != 7 || m.From != 0 {
+			t.Fatalf("bad message: %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestMemnetUnknownNode(t *testing.T) {
+	n := NewNetwork(nil)
+	defer n.Close()
+	a := n.Endpoint(0)
+	if err := a.Send(&Message{From: 0, To: 99}); err != ErrUnknownNode {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestMemnetSendAfterClose(t *testing.T) {
+	n := NewNetwork(nil)
+	a := n.Endpoint(0)
+	n.Endpoint(1)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(&Message{From: 0, To: 1}); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	n.Close() // double close must be safe
+	n.Close()
+}
+
+func TestMemnetFIFOPerLink(t *testing.T) {
+	n := NewNetwork(UniformLatency(time.Millisecond))
+	defer n.Close()
+	a := n.Endpoint(0)
+	b := n.Endpoint(1)
+
+	const count = 100
+	var mu sync.Mutex
+	var order []int
+	done := make(chan struct{})
+	b.SetHandler(func(m *Message) {
+		mu.Lock()
+		order = append(order, m.Payload.(int))
+		if len(order) == count {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	for i := 0; i < count; i++ {
+		if err := a.Send(&Message{From: 0, To: 1, Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for messages")
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("message %d arrived at position %d; FIFO violated", v, i)
+		}
+	}
+}
+
+func TestMemnetLatencyApplied(t *testing.T) {
+	const lat = 20 * time.Millisecond
+	n := NewNetwork(UniformLatency(lat))
+	defer n.Close()
+	a := n.Endpoint(0)
+	b := n.Endpoint(1)
+
+	got := make(chan time.Time, 1)
+	b.SetHandler(func(m *Message) { got <- time.Now() })
+	start := time.Now()
+	if err := a.Send(&Message{From: 0, To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	at := <-got
+	if e := at.Sub(start); e < lat {
+		t.Fatalf("delivered after %v, want >= %v", e, lat)
+	}
+}
+
+func TestMemnetSelfSend(t *testing.T) {
+	n := NewNetwork(MetricLatency{Min: time.Hour, Max: time.Hour})
+	defer n.Close()
+	a := n.Endpoint(0)
+	got := make(chan struct{}, 1)
+	a.SetHandler(func(m *Message) { got <- struct{}{} })
+	if err := a.Send(&Message{From: 0, To: 0}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("self-send must bypass link latency (self delay is zero)")
+	}
+}
+
+func TestMemnetInterceptorDrops(t *testing.T) {
+	n := NewNetwork(nil)
+	defer n.Close()
+	a := n.Endpoint(0)
+	b := n.Endpoint(1)
+	var mu sync.Mutex
+	count := 0
+	b.SetHandler(func(m *Message) { mu.Lock(); count++; mu.Unlock() })
+
+	n.SetInterceptor(func(m *Message) bool { return m.Kind != 13 })
+	a.Send(&Message{From: 0, To: 1, Kind: 13})
+	a.Send(&Message{From: 0, To: 1, Kind: 1})
+	n.SetInterceptor(nil)
+	a.Send(&Message{From: 0, To: 1, Kind: 13})
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		c := count
+		mu.Unlock()
+		if c >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d, want 2", c)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 2 {
+		t.Fatalf("delivered %d messages, want exactly 2 (one dropped)", count)
+	}
+}
+
+func TestMemnetMessageCopied(t *testing.T) {
+	// The network must deliver a copy of the Message struct so the sender
+	// can reuse its argument.
+	n := NewNetwork(UniformLatency(5 * time.Millisecond))
+	defer n.Close()
+	a := n.Endpoint(0)
+	b := n.Endpoint(1)
+	got := make(chan *Message, 1)
+	b.SetHandler(func(m *Message) { got <- m })
+	msg := &Message{From: 0, To: 1, Kind: 1}
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	msg.Kind = 99 // mutate after send
+	m := <-got
+	if m.Kind != 1 {
+		t.Fatal("delivered message aliases the sender's struct")
+	}
+}
+
+func TestMemnetConcurrentSenders(t *testing.T) {
+	n := NewNetwork(ZeroLatency{})
+	defer n.Close()
+	const senders = 8
+	const per = 50
+	dst := n.Endpoint(100)
+	var mu sync.Mutex
+	count := 0
+	done := make(chan struct{})
+	dst.SetHandler(func(m *Message) {
+		mu.Lock()
+		count++
+		if count == senders*per {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	for s := 0; s < senders; s++ {
+		ep := n.Endpoint(NodeID(s))
+		go func(ep Transport) {
+			for i := 0; i < per; i++ {
+				ep.Send(&Message{From: ep.Self(), To: 100, Payload: i})
+			}
+		}(ep)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("only %d/%d delivered", count, senders*per)
+	}
+}

@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// TCPNode is a Transport over real TCP sockets using encoding/gob framing.
+// It lets the same D-STM stack run as one OS process per node (see
+// cmd/dstmnode). Payload types must be registered with RegisterPayload.
+type TCPNode struct {
+	id    NodeID
+	ln    net.Listener
+	peers map[NodeID]string
+
+	handler atomic.Value // Handler
+
+	mu       sync.Mutex
+	conns    map[NodeID]*tcpConn
+	accepted map[net.Conn]struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu  sync.Mutex // serialises writes
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// NewTCPNode starts listening on listenAddr and will dial peers lazily.
+// peers maps every cluster node (including self, ignored) to its address.
+func NewTCPNode(id NodeID, listenAddr string, peers map[NodeID]string) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", listenAddr, err)
+	}
+	n := &TCPNode{
+		id:       id,
+		ln:       ln,
+		peers:    peers,
+		conns:    make(map[NodeID]*tcpConn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// SetPeers installs (or replaces) the peer address table. Peers are dialled
+// lazily, so the table may be set any time before the first Send to a given
+// node — convenient when all nodes bind ":0" ports first and exchange
+// addresses afterwards.
+func (n *TCPNode) SetPeers(peers map[NodeID]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers = peers
+}
+
+// Self implements Transport.
+func (n *TCPNode) Self() NodeID { return n.id }
+
+// SetHandler implements Transport.
+func (n *TCPNode) SetHandler(h Handler) { n.handler.Store(h) }
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			c.Close()
+			return
+		}
+		n.accepted[c] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(c)
+	}
+}
+
+func (n *TCPNode) readLoop(c net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		n.mu.Lock()
+		delete(n.accepted, c)
+		n.mu.Unlock()
+		c.Close()
+	}()
+	dec := gob.NewDecoder(c)
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		if h, _ := n.handler.Load().(Handler); h != nil {
+			h(&m)
+		}
+	}
+}
+
+// Send implements Transport.
+func (n *TCPNode) Send(m *Message) error {
+	tc, err := n.conn(m.To)
+	if err != nil {
+		return err
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if err := tc.enc.Encode(m); err != nil {
+		// Drop the broken connection; a later Send re-dials.
+		n.dropConn(m.To, tc)
+		return fmt.Errorf("tcpnet: send to node %d: %w", m.To, err)
+	}
+	return nil
+}
+
+func (n *TCPNode) conn(to NodeID) (*tcpConn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if tc, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return tc, nil
+	}
+	addr, ok := n.peers[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownNode
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial node %d at %s: %w", to, addr, err)
+	}
+	tc := &tcpConn{c: c, enc: gob.NewEncoder(c)}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := n.conns[to]; ok {
+		// Lost a dial race; keep the existing connection.
+		n.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	n.conns[to] = tc
+	n.mu.Unlock()
+	return tc, nil
+}
+
+func (n *TCPNode) dropConn(to NodeID, tc *tcpConn) {
+	n.mu.Lock()
+	if cur, ok := n.conns[to]; ok && cur == tc {
+		delete(n.conns, to)
+	}
+	n.mu.Unlock()
+	tc.c.Close()
+}
+
+// Close implements Transport.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := n.conns
+	n.conns = map[NodeID]*tcpConn{}
+	accepted := make([]net.Conn, 0, len(n.accepted))
+	for c := range n.accepted {
+		accepted = append(accepted, c)
+	}
+	n.mu.Unlock()
+	n.ln.Close()
+	for _, tc := range conns {
+		tc.c.Close()
+	}
+	// Close inbound connections too: Close must not depend on remote peers
+	// shutting down first.
+	for _, c := range accepted {
+		c.Close()
+	}
+	n.wg.Wait()
+	return nil
+}

@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+type tcpPayload struct {
+	N int
+	S string
+}
+
+func init() {
+	RegisterPayload(tcpPayload{})
+}
+
+// newTCPPair starts two TCP nodes on loopback that know each other's
+// addresses.
+func newTCPPair(t *testing.T) (*TCPNode, *TCPNode) {
+	t.Helper()
+	a, err := NewTCPNode(0, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPNode(1, "127.0.0.1:0", nil)
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	peers := map[NodeID]string{0: a.Addr(), 1: b.Addr()}
+	a.SetPeers(peers)
+	b.SetPeers(peers)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestTCPBasicRoundTrip(t *testing.T) {
+	a, b := newTCPPair(t)
+
+	got := make(chan *Message, 1)
+	b.SetHandler(func(m *Message) { got <- m })
+
+	err := a.Send(&Message{From: 0, To: 1, Kind: 3, Clock: 42,
+		Payload: tcpPayload{N: 7, S: "hi"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		p, ok := m.Payload.(tcpPayload)
+		if !ok || p.N != 7 || p.S != "hi" || m.Clock != 42 {
+			t.Fatalf("bad message %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery over TCP")
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	a, b := newTCPPair(t)
+	gotA := make(chan *Message, 1)
+	gotB := make(chan *Message, 1)
+	a.SetHandler(func(m *Message) { gotA <- m })
+	b.SetHandler(func(m *Message) { gotB <- m })
+
+	if err := a.Send(&Message{From: 0, To: 1, Payload: tcpPayload{N: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(&Message{From: 1, To: 0, Payload: tcpPayload{N: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case m := <-gotA:
+			if m.Payload.(tcpPayload).N != 2 {
+				t.Fatalf("A got %+v", m)
+			}
+		case m := <-gotB:
+			if m.Payload.(tcpPayload).N != 1 {
+				t.Fatalf("B got %+v", m)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+}
+
+func TestTCPManyMessagesOrdered(t *testing.T) {
+	a, b := newTCPPair(t)
+	const count = 200
+	var mu sync.Mutex
+	var order []int
+	done := make(chan struct{})
+	b.SetHandler(func(m *Message) {
+		mu.Lock()
+		order = append(order, m.Payload.(tcpPayload).N)
+		if len(order) == count {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	for i := 0; i < count; i++ {
+		if err := a.Send(&Message{From: 0, To: 1, Payload: tcpPayload{N: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out of order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, _ := newTCPPair(t)
+	if err := a.Send(&Message{From: 0, To: 42}); err != ErrUnknownNode {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	a, b := newTCPPair(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(&Message{From: 0, To: 1}); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	_ = b
+}
+
+func TestTCPSelfIdentity(t *testing.T) {
+	a, b := newTCPPair(t)
+	if a.Self() != 0 || b.Self() != 1 {
+		t.Fatalf("Self() = %d, %d", a.Self(), b.Self())
+	}
+}

@@ -1,0 +1,40 @@
+// Package vclock implements the node-local logical clocks used by the
+// Transactional Forwarding Algorithm (TFA).
+//
+// Every node in the D-STM cluster owns one Clock. The clock advances by one
+// on every local write-transaction commit (Tick), and is merged with the
+// clock value piggybacked on every incoming message (Merge), giving the
+// Lamport-style "asynchronous clock synchronisation" that TFA relies on:
+// no global clock is required, yet a transaction can compare its recorded
+// start time against the commit time of any object version it encounters.
+package vclock
+
+import "sync/atomic"
+
+// Clock is a monotonically non-decreasing logical clock. The zero value is
+// ready to use and reads as 0.
+type Clock struct {
+	v atomic.Uint64
+}
+
+// Now returns the current clock value.
+func (c *Clock) Now() uint64 { return c.v.Load() }
+
+// Tick increments the clock by one and returns the new value. It is called
+// at the commit point of every write transaction on this node.
+func (c *Clock) Tick() uint64 { return c.v.Add(1) }
+
+// Merge advances the clock to at least remote. It is called with the clock
+// value carried by every received message, so that a node's clock is always
+// >= every clock value it has ever observed.
+func (c *Clock) Merge(remote uint64) {
+	for {
+		cur := c.v.Load()
+		if remote <= cur {
+			return
+		}
+		if c.v.CompareAndSwap(cur, remote) {
+			return
+		}
+	}
+}

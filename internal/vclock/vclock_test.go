@@ -1,0 +1,99 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %d, want 0", got)
+	}
+}
+
+func TestTick(t *testing.T) {
+	var c Clock
+	for i := uint64(1); i <= 10; i++ {
+		if got := c.Tick(); got != i {
+			t.Fatalf("Tick %d returned %d", i, got)
+		}
+	}
+	if got := c.Now(); got != 10 {
+		t.Fatalf("Now() = %d after 10 ticks", got)
+	}
+}
+
+func TestMergeAdvances(t *testing.T) {
+	var c Clock
+	c.Merge(42)
+	if got := c.Now(); got != 42 {
+		t.Fatalf("Now() = %d after Merge(42)", got)
+	}
+}
+
+func TestMergeNeverRegresses(t *testing.T) {
+	var c Clock
+	c.Merge(100)
+	c.Merge(5)
+	if got := c.Now(); got != 100 {
+		t.Fatalf("Now() = %d, merge with smaller value must not regress", got)
+	}
+}
+
+// Property: after any sequence of merges, the clock equals the maximum value
+// merged (starting from 0).
+func TestMergeIsMaxProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		var c Clock
+		var max uint64
+		for _, v := range vals {
+			c.Merge(v)
+			if v > max {
+				max = v
+			}
+		}
+		return c.Now() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ticks and merges from many goroutines leave the clock at least
+// as large as the number of ticks and at least as large as every merged
+// value; every Tick result is unique.
+func TestConcurrentTickMerge(t *testing.T) {
+	var c Clock
+	const goroutines = 8
+	const ticksEach = 200
+
+	seen := make([]map[uint64]bool, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		seen[g] = make(map[uint64]bool, ticksEach)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ticksEach; i++ {
+				v := c.Tick()
+				seen[g][v] = true
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	all := make(map[uint64]bool)
+	for g := range seen {
+		for v := range seen[g] {
+			if all[v] {
+				t.Fatalf("Tick value %d observed twice", v)
+			}
+			all[v] = true
+		}
+	}
+	if got := c.Now(); got != goroutines*ticksEach {
+		t.Fatalf("Now() = %d, want %d", got, goroutines*ticksEach)
+	}
+}
