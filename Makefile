@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test race bench verify clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the tier-1 gate: build, plain tests, then the full suite under
+# the race detector (chaos/soak tests included).
+verify: build test race
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -10,7 +10,9 @@
 //	rtsbench -experiment all
 //
 // Flags tune scale: -nodes, -maxnodes, -duration, -workers, -objects,
-// -delayscale, -clthreshold, -adaptive, -bench.
+// -delayscale, -clthreshold, -adaptive, -bench. Fault injection (lossy
+// links, see DESIGN.md "Fault model"): -drop, -duplicate, -reorder,
+// -locklease.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"dstm/internal/cluster"
 	"dstm/internal/harness"
 )
 
@@ -38,6 +41,10 @@ func main() {
 		flat       = flag.Bool("flat", false, "use flat nesting instead of closed nesting")
 		benchList  = flag.String("bench", "", "comma-separated benchmark subset (vacation,bank,ll,rbtree,bst,dht)")
 		seed       = flag.Int64("seed", 1, "workload seed")
+		drop       = flag.Float64("drop", 0, "message drop probability (fault injection)")
+		duplicate  = flag.Float64("duplicate", 0, "message duplication probability (fault injection)")
+		reorder    = flag.Float64("reorder", 0, "message reorder probability (fault injection)")
+		lockLease  = flag.Duration("locklease", 0, "force-release commit locks held this long (0 = off)")
 	)
 	flag.Parse()
 
@@ -51,6 +58,20 @@ func main() {
 		AdaptiveCL:     *adaptive,
 		FlatNesting:    *flat,
 		Seed:           *seed,
+		Drop:           *drop,
+		Duplicate:      *duplicate,
+		Reorder:        *reorder,
+		MaxExtraDelay:  time.Millisecond,
+		LockLease:      *lockLease,
+	}
+	if base.Drop > 0 || base.Duplicate > 0 || base.Reorder > 0 {
+		// Lossy runs need retransmissions paced to the scaled link delays,
+		// not the 2s default per-try timeout.
+		base.CallRetry = cluster.RetryPolicy{
+			PerTryTimeout: 30 * time.Millisecond,
+			BaseBackoff:   2 * time.Millisecond,
+			MaxBackoff:    20 * time.Millisecond,
+		}
 	}
 	benches := parseBenches(*benchList)
 	ctx := context.Background()

@@ -42,10 +42,14 @@ type lookupResp struct {
 	Known bool
 }
 
-// registerReq registers a newly created object with its home.
+// registerReq registers a newly created object with its home. Tx, when
+// non-zero, identifies the creating transaction so a re-register from the
+// same transaction (a commit retried after its reply was lost) is
+// idempotent while a genuine duplicate create is still rejected.
 type registerReq struct {
 	Oid   object.ID
 	Owner transport.NodeID
+	Tx    uint64
 }
 
 // updateReq moves ownership to a new node (commit-time migration).
@@ -82,6 +86,7 @@ type Service struct {
 
 	mu     sync.Mutex
 	owners map[object.ID]transport.NodeID // directory shard: objects homed here
+	regTx  map[object.ID]uint64           // transaction that registered each object
 	hints  map[object.ID]transport.NodeID // locator cache: last known owners
 }
 
@@ -92,6 +97,7 @@ func NewService(ep *cluster.Endpoint, size int) *Service {
 		ep:     ep,
 		size:   size,
 		owners: make(map[object.ID]transport.NodeID),
+		regTx:  make(map[object.ID]uint64),
 		hints:  make(map[object.ID]transport.NodeID),
 	}
 	ep.Handle(KindLookup, s.handleLookup)
@@ -119,9 +125,17 @@ func (s *Service) handleRegister(_ transport.NodeID, payload any) (any, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if existing, dup := s.owners[req.Oid]; dup {
+		if existing == req.Owner && req.Tx != 0 && s.regTx[req.Oid] == req.Tx {
+			// The same transaction registering again: its earlier reply was
+			// lost and the commit is being retried. Succeed idempotently.
+			return lookupResp{Owner: req.Owner, Known: true}, nil
+		}
 		return nil, fmt.Errorf("cc: object %q already registered to node %d", req.Oid, existing)
 	}
 	s.owners[req.Oid] = req.Owner
+	if req.Tx != 0 {
+		s.regTx[req.Oid] = req.Tx
+	}
 	return lookupResp{Owner: req.Owner, Known: true}, nil
 }
 
@@ -136,6 +150,9 @@ func (s *Service) handleUpdate(_ transport.NodeID, payload any) (any, error) {
 		return nil, fmt.Errorf("cc: update for unregistered object %q", req.Oid)
 	}
 	s.owners[req.Oid] = req.Owner
+	// Ownership migrating means the creating transaction committed long ago;
+	// its re-register window is over.
+	delete(s.regTx, req.Oid)
 	return lookupResp{Owner: req.Owner, Known: true}, nil
 }
 
@@ -197,7 +214,14 @@ func (s *Service) NoteOwner(id object.ID, owner transport.NodeID) {
 
 // Register announces a newly created object owned by owner to its home.
 func (s *Service) Register(ctx context.Context, id object.ID, owner transport.NodeID) error {
-	_, err := s.ep.Call(ctx, s.Home(id), KindRegister, registerReq{Oid: id, Owner: owner})
+	return s.RegisterTx(ctx, id, owner, 0)
+}
+
+// RegisterTx registers id like Register, tagging the registration with the
+// creating transaction so a retried commit (whose earlier register reply was
+// lost) can re-register idempotently. tx 0 means strict one-shot semantics.
+func (s *Service) RegisterTx(ctx context.Context, id object.ID, owner transport.NodeID, tx uint64) error {
+	_, err := s.ep.Call(ctx, s.Home(id), KindRegister, registerReq{Oid: id, Owner: owner, Tx: tx})
 	if err != nil {
 		return err
 	}

@@ -42,9 +42,53 @@ func (e *RemoteError) Error() string {
 // ErrEndpointClosed is returned by calls issued after Close.
 var ErrEndpointClosed = errors.New("cluster: endpoint closed")
 
+// ErrCallTimeout is returned when a call exhausts its retry budget (or the
+// endpoint-imposed DefaultCallTimeout) without a reply. Unlike a caller
+// deadline it signals a lost conversation, not a cancelled one, so the STM
+// layer converts it into a transaction abort and retries.
+var ErrCallTimeout = errors.New("cluster: call timed out awaiting reply")
+
 // DefaultCallTimeout bounds RPCs whose context carries no deadline, so a
 // lost message cannot wedge a transaction forever.
 const DefaultCallTimeout = 30 * time.Second
+
+// RetryPolicy controls Call's retransmission behaviour. A retransmission
+// reuses the original correlation ID, and the receiving endpoint
+// deduplicates requests by (sender, correlation), so retries are exactly-
+// once with respect to handler execution even over a network that drops or
+// duplicates messages.
+type RetryPolicy struct {
+	// PerTryTimeout is how long one attempt waits for a reply before
+	// retransmitting. <= 0 disables retransmission: the single send waits
+	// out the full call deadline (the pre-retry behaviour).
+	PerTryTimeout time.Duration
+	// BaseBackoff is the delay before the first retransmission; it doubles
+	// each attempt (with ±50% deterministic jitter) up to MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// MaxAttempts caps the total number of sends. 0 means unlimited —
+	// bounded only by the call deadline.
+	MaxAttempts int
+}
+
+// DefaultRetryPolicy is the endpoint's out-of-the-box behaviour: patient
+// retransmission bounded by the call deadline. Chaos tests and lossy
+// deployments install something far more aggressive via SetRetryPolicy.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		PerTryTimeout: 2 * time.Second,
+		BaseBackoff:   10 * time.Millisecond,
+		MaxBackoff:    time.Second,
+	}
+}
+
+// NoRetry is a RetryPolicy that sends once and waits out the deadline.
+func NoRetry() RetryPolicy { return RetryPolicy{} }
+
+// dedupCap bounds the per-endpoint duplicate-suppression cache. Entries
+// are evicted oldest-first once the handler has replied; in-flight entries
+// are never evicted.
+const dedupCap = 4096
 
 // envelope is the wire format for replies.
 type envelope struct {
@@ -56,18 +100,35 @@ func init() {
 	transport.RegisterPayload(envelope{})
 }
 
+// dedupKey identifies one request for duplicate suppression: correlation
+// IDs are unique per sender endpoint, so the pair is cluster-unique.
+type dedupKey struct {
+	from transport.NodeID
+	corr uint64
+}
+
+// dedupEntry is one request's server-side state: in flight until the
+// handler returns, then the cached reply that duplicates re-receive.
+type dedupEntry struct {
+	done bool
+	env  envelope
+}
+
 // Endpoint is one node's RPC attachment.
 type Endpoint struct {
 	tr    transport.Transport
 	clock *vclock.Clock
 
-	corr atomic.Uint64
+	corr  atomic.Uint64
+	retry atomic.Value // RetryPolicy
 
-	mu       sync.Mutex
-	pending  map[uint64]chan *transport.Message
-	handlers map[transport.Kind]RequestHandler
-	notifies map[transport.Kind]NotifyHandler
-	closed   bool
+	mu        sync.Mutex
+	pending   map[uint64]chan *transport.Message
+	handlers  map[transport.Kind]RequestHandler
+	notifies  map[transport.Kind]NotifyHandler
+	dedup     map[dedupKey]*dedupEntry
+	dedupFIFO []dedupKey
+	closed    bool
 }
 
 // NewEndpoint wraps tr. The clock is shared with the node's STM runtime so
@@ -79,10 +140,20 @@ func NewEndpoint(tr transport.Transport, clock *vclock.Clock) *Endpoint {
 		pending:  make(map[uint64]chan *transport.Message),
 		handlers: make(map[transport.Kind]RequestHandler),
 		notifies: make(map[transport.Kind]NotifyHandler),
+		dedup:    make(map[dedupKey]*dedupEntry),
 	}
+	e.retry.Store(DefaultRetryPolicy())
 	tr.SetHandler(e.onMessage)
 	return e
 }
+
+// SetRetryPolicy replaces the endpoint's Call retransmission policy. Each
+// Call reads the policy once when it starts; in-flight calls keep the
+// policy they started with.
+func (e *Endpoint) SetRetryPolicy(p RetryPolicy) { e.retry.Store(p) }
+
+// RetryPolicy returns the endpoint's current retransmission policy.
+func (e *Endpoint) RetryPolicy() RetryPolicy { return e.retry.Load().(RetryPolicy) }
 
 // Self returns this endpoint's node ID.
 func (e *Endpoint) Self() transport.NodeID { return e.tr.Self() }
@@ -113,7 +184,13 @@ func (e *Endpoint) HandleNotify(kind transport.Kind, h NotifyHandler) {
 
 // Call performs a blocking RPC to node `to`. It returns the remote reply
 // body, a *RemoteError if the remote handler failed, or a local error
-// (context cancellation, closed endpoint, transport failure).
+// (context cancellation, closed endpoint, transport failure, ErrCallTimeout
+// after the retry budget is spent).
+//
+// Lost requests and lost replies are retransmitted per the endpoint's
+// RetryPolicy with exponential backoff and jitter. Every retransmission
+// carries the original correlation ID, and the receiver deduplicates by
+// (sender, correlation), so a retried call never re-executes its handler.
 func (e *Endpoint) Call(ctx context.Context, to transport.NodeID, kind transport.Kind, payload any) (any, error) {
 	corr := e.corr.Add(1)
 	ch := make(chan *transport.Message, 1)
@@ -132,26 +209,25 @@ func (e *Endpoint) Call(ctx context.Context, to transport.NodeID, kind transport
 		e.mu.Unlock()
 	}()
 
-	err := e.tr.Send(&transport.Message{
-		From:    e.Self(),
-		To:      to,
-		Clock:   e.clock.Now(),
-		Kind:    kind,
-		Corr:    corr,
-		Payload: payload,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("cluster: call %v to node %d: %w", kind, to, err)
-	}
-
+	// Bound the whole call so a lost conversation cannot wedge a
+	// transaction forever. When the bound is ours (not the caller's), its
+	// expiry reports ErrCallTimeout rather than a context error, so the
+	// caller can tell a lost conversation from its own cancellation.
+	imposed := false
 	if _, has := ctx.Deadline(); !has {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, DefaultCallTimeout)
+		imposed = true
 		defer cancel()
 	}
+	timeoutErr := func() error {
+		if imposed && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return fmt.Errorf("%w: %v to node %d", ErrCallTimeout, kind, to)
+		}
+		return ctx.Err()
+	}
 
-	select {
-	case m := <-ch:
+	decode := func(m *transport.Message) (any, error) {
 		env, ok := m.Payload.(envelope)
 		if !ok {
 			return nil, fmt.Errorf("cluster: malformed reply for %v from node %d", kind, to)
@@ -160,9 +236,74 @@ func (e *Endpoint) Call(ctx context.Context, to transport.NodeID, kind transport
 			return nil, &RemoteError{Node: to, Msg: env.Err}
 		}
 		return env.Body, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
 	}
+	// await waits up to d (forever when d <= 0) for a reply or the context.
+	// expired true means neither arrived and the caller should retransmit.
+	await := func(d time.Duration) (body any, err error, expired bool) {
+		var timer *time.Timer
+		var expire <-chan time.Time
+		if d > 0 {
+			timer = time.NewTimer(d)
+			expire = timer.C
+			defer timer.Stop()
+		}
+		select {
+		case m := <-ch:
+			body, err = decode(m)
+			return body, err, false
+		case <-ctx.Done():
+			return nil, timeoutErr(), false
+		case <-expire:
+			return nil, nil, true
+		}
+	}
+
+	rp := e.RetryPolicy()
+	backoff := rp.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		err := e.tr.Send(&transport.Message{
+			From:    e.Self(),
+			To:      to,
+			Clock:   e.clock.Now(),
+			Kind:    kind,
+			Corr:    corr,
+			Payload: payload,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: call %v to node %d: %w", kind, to, err)
+		}
+
+		body, err, expired := await(rp.PerTryTimeout)
+		if !expired {
+			return body, err
+		}
+		if rp.MaxAttempts > 0 && attempt >= rp.MaxAttempts {
+			return nil, fmt.Errorf("%w: %v to node %d after %d attempts", ErrCallTimeout, kind, to, attempt)
+		}
+		// Back off before retransmitting — but keep listening: a reply that
+		// was merely slow must still complete the call.
+		if backoff > 0 {
+			d := jitter(backoff, uint64(corr)^uint64(attempt)<<32^uint64(e.Self()))
+			if body, err, expired := await(d); !expired {
+				return body, err
+			}
+			backoff *= 2
+			if rp.MaxBackoff > 0 && backoff > rp.MaxBackoff {
+				backoff = rp.MaxBackoff
+			}
+		}
+	}
+}
+
+// jitter spreads d by ±50% using a deterministic hash of the call identity,
+// decorrelating retransmission storms without a shared RNG.
+func jitter(d time.Duration, salt uint64) time.Duration {
+	salt += 0x9e3779b97f4a7c15
+	salt = (salt ^ (salt >> 30)) * 0xbf58476d1ce4e5b9
+	salt = (salt ^ (salt >> 27)) * 0x94d049bb133111eb
+	salt ^= salt >> 31
+	frac := float64(salt>>11) / (1 << 53) // [0, 1)
+	return time.Duration(float64(d) * (0.5 + frac))
 }
 
 // Notify sends a one-way message (no reply expected).
@@ -199,21 +340,42 @@ func (e *Endpoint) onMessage(m *transport.Message) {
 	}
 
 	if m.Corr != 0 {
+		key := dedupKey{from: m.From, corr: m.Corr}
 		e.mu.Lock()
-		h := e.handlers[m.Kind]
-		e.mu.Unlock()
-		if h == nil {
-			e.reply(m, envelope{Err: fmt.Sprintf("no handler for %v", m.Kind)})
+		if ent, seen := e.dedup[key]; seen {
+			// A retransmitted (or network-duplicated) request must not
+			// re-execute its handler. If the original already replied,
+			// resend the cached reply (the first one was evidently lost);
+			// if it is still in flight, its completion will reply.
+			done, env := ent.done, ent.env
+			e.mu.Unlock()
+			if done {
+				e.reply(m, env)
+			}
 			return
 		}
+		ent := &dedupEntry{}
+		e.dedup[key] = ent
+		e.evictDedupLocked(key)
+		h := e.handlers[m.Kind]
+		e.mu.Unlock()
 		// Requests run on their own goroutine so a slow handler never
 		// blocks the delivery path (per-link FIFO goroutine in memnet).
 		go func() {
-			body, err := h(m.From, m.Payload)
-			env := envelope{Body: body}
-			if err != nil {
-				env = envelope{Err: err.Error()}
+			var env envelope
+			if h == nil {
+				env = envelope{Err: fmt.Sprintf("no handler for %v", m.Kind)}
+			} else {
+				body, err := h(m.From, m.Payload)
+				env = envelope{Body: body}
+				if err != nil {
+					env = envelope{Err: err.Error()}
+				}
 			}
+			e.mu.Lock()
+			ent.done = true
+			ent.env = env
+			e.mu.Unlock()
 			e.reply(m, env)
 		}()
 		return
@@ -224,6 +386,23 @@ func (e *Endpoint) onMessage(m *transport.Message) {
 	e.mu.Unlock()
 	if h != nil {
 		h(m.From, m.Payload)
+	}
+}
+
+// evictDedupLocked appends key to the eviction queue and trims the cache
+// to dedupCap, skipping (and re-queueing) entries whose handler is still
+// running. Callers must hold e.mu.
+func (e *Endpoint) evictDedupLocked(key dedupKey) {
+	e.dedupFIFO = append(e.dedupFIFO, key)
+	// Bound the scan so a cache full of in-flight entries cannot spin.
+	for budget := len(e.dedupFIFO); len(e.dedup) > dedupCap && budget > 0; budget-- {
+		oldest := e.dedupFIFO[0]
+		e.dedupFIFO = e.dedupFIFO[1:]
+		if ent, ok := e.dedup[oldest]; ok && !ent.done {
+			e.dedupFIFO = append(e.dedupFIFO, oldest)
+			continue
+		}
+		delete(e.dedup, oldest)
 	}
 }
 

@@ -82,7 +82,30 @@ type Config struct {
 	// paper's flat-nesting contrast case) instead of closed nesting.
 	FlatNesting bool
 
+	// Fault injection. The rates configure a seeded transport.FaultModel
+	// installed after benchmark setup (setup always runs reliably); zero
+	// rates keep the lossless network the paper assumes. See DESIGN.md
+	// "Fault model".
+	Drop          float64
+	Duplicate     float64
+	Reorder       float64
+	MaxExtraDelay time.Duration
+
+	// LockLease, when positive, starts each node's lock-lease reaper so a
+	// crashed or wedged committer cannot block an object forever.
+	LockLease time.Duration
+
+	// CallRetry overrides the RPC retry policy on every endpoint. The zero
+	// value keeps cluster.DefaultRetryPolicy. Lossy configs should shorten
+	// PerTryTimeout so retransmissions track the (scaled) link delays.
+	CallRetry cluster.RetryPolicy
+
 	Seed int64
+}
+
+// faulty reports whether any fault-injection rate is set.
+func (c Config) faulty() bool {
+	return c.Drop > 0 || c.Duplicate > 0 || c.Reorder > 0
 }
 
 // withDefaults fills zero fields with usable values.
@@ -234,9 +257,16 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			return Result{}, err
 		}
 		ep := cluster.NewEndpoint(net.Endpoint(transport.NodeID(i)), &vclock.Clock{})
+		if (cfg.CallRetry != cluster.RetryPolicy{}) {
+			ep.SetRetryPolicy(cfg.CallRetry)
+		}
 		rts[i] = stm.NewRuntime(ep, cfg.Nodes, pol, st)
 		if cfg.FlatNesting {
 			rts[i].SetNesting(stm.FlatNesting)
+		}
+		if cfg.LockLease > 0 {
+			stop := rts[i].StartLeaseExpiry(cfg.LockLease)
+			defer stop()
 		}
 	}
 
@@ -251,6 +281,17 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	// Drop setup noise from the counters by sampling a baseline after
 	// setup and subtracting later — setup runs transactions too.
 	baseline := aggregate(rts)
+
+	// Faults go live only after setup so the seeded state is complete.
+	if cfg.faulty() {
+		net.SetFaults(transport.NewFaultModel(transport.FaultConfig{
+			Seed:          uint64(cfg.Seed),
+			Drop:          cfg.Drop,
+			Duplicate:     cfg.Duplicate,
+			Reorder:       cfg.Reorder,
+			MaxExtraDelay: cfg.MaxExtraDelay,
+		}))
+	}
 
 	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
@@ -287,6 +328,10 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	if firstErr != nil {
 		return Result{}, fmt.Errorf("harness: worker failed: %w", firstErr)
 	}
+
+	// Heal before checking invariants: the check verifies what committed,
+	// not whether the check's own RPCs survive the lossy network.
+	net.SetFaults(nil)
 
 	m := aggregate(rts)
 	subtract(&m, baseline)
@@ -325,6 +370,7 @@ func subtract(m *stm.MetricsSnapshot, base stm.MetricsSnapshot) {
 	m.Enqueues -= base.Enqueues
 	m.Pushes -= base.Pushes
 	m.Retrieves -= base.Retrieves
+	m.LeaseExpiries -= base.LeaseExpiries
 	for c, v := range base.Aborts {
 		m.Aborts[c] -= v
 	}

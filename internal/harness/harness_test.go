@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dstm/internal/cluster"
 )
 
 // quickCfg is a small, fast experiment cell for tests.
@@ -175,5 +177,32 @@ func TestBenchmarkLabels(t *testing.T) {
 		if got := BenchmarkLabel(k); got != w {
 			t.Fatalf("label(%s) = %q, want %q", k, got, w)
 		}
+	}
+}
+
+func TestRunWithFaultInjection(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Benchmark = BenchBank
+	cfg.ReadRatio = 0.5
+	cfg.Duration = 400 * time.Millisecond
+	cfg.Drop = 0.1
+	cfg.Duplicate = 0.05
+	cfg.Reorder = 0.05
+	cfg.MaxExtraDelay = time.Millisecond
+	cfg.LockLease = 5 * time.Second
+	cfg.CallRetry = cluster.RetryPolicy{
+		PerTryTimeout: 30 * time.Millisecond,
+		BaseBackoff:   2 * time.Millisecond,
+		MaxBackoff:    20 * time.Millisecond,
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Commits == 0 {
+		t.Fatal("no commits under 10% message loss")
+	}
+	if res.CheckErr != nil {
+		t.Fatalf("invariant broken under faults: %v", res.CheckErr)
 	}
 }

@@ -3,6 +3,7 @@ package object
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Store holds the authoritative copies of the objects currently owned by
@@ -21,8 +22,9 @@ type Store struct {
 
 // SetTrace installs a debug callback invoked (under the store lock) for
 // every lock-state transition: "lock-ok", "lock-busy", "lock-stale",
-// "lock-refused", "unlock", "unlock-miss", "remove", "commit", "install",
-// "install-locked". Pass nil to disable. Intended for tests and debugging.
+// "lock-refused", "lock-expired", "unlock", "unlock-miss", "remove",
+// "commit", "install", "install-locked". Pass nil to disable. Intended for
+// tests and debugging.
 func (s *Store) SetTrace(f func(op string, id ID, tx uint64)) {
 	s.mu.Lock()
 	s.trace = f
@@ -38,7 +40,8 @@ func (s *Store) emit(op string, id ID, tx uint64) {
 type record struct {
 	val    Value
 	ver    Version
-	lockTx uint64 // transaction ID holding the commit lock; 0 = unlocked
+	lockTx uint64    // transaction ID holding the commit lock; 0 = unlocked
+	lockAt time.Time // when the commit lock was taken (lease accounting)
 	// refused is a small ring of one-shot tombstones: Unlock by a
 	// transaction that does not hold the lock records its ID here, so a
 	// stale Lock request from that transaction arriving *after* its
@@ -146,8 +149,32 @@ func (s *Store) Lock(id ID, tx uint64, expect Version) LockResult {
 		return LockStale
 	}
 	r.lockTx = tx
+	r.lockAt = time.Now()
 	s.emit("lock-ok", id, tx)
 	return LockOK
+}
+
+// ExpireLocks force-releases every commit lock held for at least lease,
+// returning the affected object IDs. The expired holder is tombstoned (see
+// record.refuse) so its delayed lock, commit, or unlock messages cannot
+// resurrect or corrupt the lock state. This is the abort-on-owner-crash
+// path: a committer that died (or was partitioned away) mid-commit cannot
+// wedge the objects it had locked — after the lease they return to
+// circulation and queued requesters get served.
+func (s *Store) ExpireLocks(lease time.Duration) []ID {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var expired []ID
+	for id, r := range s.objs {
+		if r.lockTx != 0 && now.Sub(r.lockAt) >= lease {
+			s.emit("lock-expired", id, r.lockTx)
+			r.refuse(r.lockTx)
+			r.lockTx = 0
+			expired = append(expired, id)
+		}
+	}
+	return expired
 }
 
 // Unlock releases the commit lock on id if held by tx. Releasing a lock
@@ -178,7 +205,7 @@ func (s *Store) InstallLocked(id ID, val Value, ver Version, tx uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.emit("install-locked", id, tx)
-	s.objs[id] = &record{val: val, ver: ver, lockTx: tx}
+	s.objs[id] = &record{val: val, ver: ver, lockTx: tx, lockAt: time.Now()}
 }
 
 // UpdateCommitted installs a new committed value and version for an object

@@ -139,7 +139,7 @@ func (tx *Txn) commit(ctx context.Context) error {
 	for i, oid := range creates {
 		e := tx.entries[oid]
 		rt.store.InstallLocked(oid, e.val.Copy(), object.Version{}, tx.lockID)
-		if err := rt.locator.Register(regCtx, oid, rt.Self()); err != nil {
+		if err := rt.locator.RegisterTx(regCtx, oid, rt.Self(), tx.lockID); err != nil {
 			// ID collision or directory failure: roll the creations back.
 			for _, done := range creates[:i+1] {
 				_ = rt.store.Remove(done, tx.lockID)

@@ -1,0 +1,166 @@
+package stm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dstm/internal/core"
+	"dstm/internal/object"
+	"dstm/internal/sched"
+)
+
+// TestLeaseExpiryFreesWedgedLock simulates a committer that crashed after
+// commit-locking an object: the lock is taken directly in the owner's store
+// by a transaction ID that will never unlock. Without the lease reaper every
+// writer would abort on LockBusy / retrieveDenied forever; with it, the lock
+// expires, the dead holder is tombstoned, and the writer commits.
+func TestLeaseExpiryFreesWedgedLock(t *testing.T) {
+	tc := newTestCluster(t, 2, nil, nil)
+	rt0 := tc.rts[0]
+	ctx := context.Background()
+
+	if err := rt0.CreateRoot(ctx, "wedged", &box{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wedge: a "crashed" committer holds the commit lock and will never
+	// release it.
+	const deadTx = 0xdead
+	ver, _, ok := rt0.Store().State("wedged")
+	if !ok {
+		t.Fatal("object not owned by creator")
+	}
+	if got := rt0.Store().Lock("wedged", deadTx, ver); got != object.LockOK {
+		t.Fatalf("setup lock: %v", got)
+	}
+
+	stop := rt0.StartLeaseExpiry(50 * time.Millisecond)
+	defer stop()
+
+	// A writer from another node must eventually get through. Give it a
+	// deadline well past the lease so only a true wedge fails the test.
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	err := tc.rts[1].Atomic(wctx, "writer", func(tx *Txn) error {
+		v, err := tx.Read(wctx, "wedged")
+		if err != nil {
+			return err
+		}
+		return tx.Write(wctx, "wedged", &box{N: v.(*box).N + 1})
+	})
+	if err != nil {
+		t.Fatalf("writer never got past the wedged lock: %v", err)
+	}
+
+	if n := rt0.Metrics().Snapshot().LeaseExpiries; n == 0 {
+		t.Fatal("no lease expiries recorded despite the reaper freeing the lock")
+	}
+	// The dead holder must not be able to resurrect its lock afterwards.
+	if rt0.Store().Owns("wedged") {
+		if got := rt0.Store().Lock("wedged", deadTx, ver); got == object.LockOK {
+			t.Fatal("expired holder re-acquired the lock")
+		}
+	}
+}
+
+// TestLeaseExpiryServesQueuedRequesters wedges an object under the RTS
+// scheduler so an incoming writer is *enqueued* (not aborted): the reaper
+// must both free the lock and push the object to the parked requester, or
+// the queue would stall until its backoff timeout.
+func TestLeaseExpiryServesQueuedRequesters(t *testing.T) {
+	tc := newTestCluster(t, 2, nil, func() sched.Policy { return core.New(core.Options{CLThreshold: 5}) })
+	rt0 := tc.rts[0]
+	ctx := context.Background()
+
+	if err := rt0.CreateRoot(ctx, "queued", &box{N: 10}); err != nil {
+		t.Fatal(err)
+	}
+	const deadTx = 0xdead
+	ver, _, _ := rt0.Store().State("queued")
+	if got := rt0.Store().Lock("queued", deadTx, ver); got != object.LockOK {
+		t.Fatalf("setup lock: %v", got)
+	}
+
+	stop := rt0.StartLeaseExpiry(50 * time.Millisecond)
+	defer stop()
+
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := tc.rts[1].Atomic(wctx, "writer", func(tx *Txn) error {
+		v, err := tx.Read(wctx, "queued")
+		if err != nil {
+			return err
+		}
+		return tx.Write(wctx, "queued", &box{N: v.(*box).N + 1})
+	}); err != nil {
+		t.Fatalf("queued writer never served after lease expiry: %v", err)
+	}
+}
+
+// TestLeaseExpiryStopIdempotent checks the reaper's stop function tolerates
+// repeated calls and that a stopped reaper expires nothing further.
+func TestLeaseExpiryStopIdempotent(t *testing.T) {
+	tc := newTestCluster(t, 1, nil, nil)
+	rt := tc.rts[0]
+	stop := rt.StartLeaseExpiry(time.Millisecond)
+	stop()
+	stop() // must not panic
+
+	if err := rt.CreateRoot(context.Background(), "x", &box{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ver, _, _ := rt.Store().State("x")
+	if got := rt.Store().Lock("x", 99, ver); got != object.LockOK {
+		t.Fatalf("lock: %v", got)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if !rt.Store().Locked("x") {
+		t.Fatal("stopped reaper still expired a lock")
+	}
+}
+
+// TestCommitMigrationIdempotent covers the at-least-once window of the
+// commit-migration RPC: when a retransmission outlives the endpoint's dedup
+// cache, the old owner re-executes the handler and must report the
+// already-completed migration as success — not "not owned".
+func TestCommitMigrationIdempotent(t *testing.T) {
+	tc := newTestCluster(t, 2, nil, nil)
+	rt0, rt1 := tc.rts[0], tc.rts[1]
+	ctx := context.Background()
+
+	if err := rt0.CreateRoot(ctx, "mig", &box{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	const txid = 77
+	ver, _, _ := rt0.Store().State("mig")
+	if got := rt0.Store().Lock("mig", txid, ver); got != object.LockOK {
+		t.Fatalf("lock: %v", got)
+	}
+
+	req := commitObjReq{
+		Oid:      "mig",
+		TxID:     txid,
+		NewVer:   object.Version{Clock: 9, Node: 1},
+		NewValue: &box{N: 2},
+		NewOwner: 1,
+	}
+	// First migration removes the object from node 0.
+	if _, err := rt1.ep.Call(ctx, 0, KindCommitObject, req); err != nil {
+		t.Fatalf("migration: %v", err)
+	}
+	if rt0.Store().Owns("mig") {
+		t.Fatal("object still owned by old owner after migration")
+	}
+	// A re-executed retransmission (fresh correlation ID, so the RPC dedup
+	// cannot absorb it) must succeed idempotently.
+	if _, err := rt1.ep.Call(ctx, 0, KindCommitObject, req); err != nil {
+		t.Fatalf("retransmitted migration not idempotent: %v", err)
+	}
+	// A different transaction claiming the same migration is still an error.
+	bad := req
+	bad.TxID = 78
+	if _, err := rt1.ep.Call(ctx, 0, KindCommitObject, bad); err == nil {
+		t.Fatal("foreign-tx migration of a gone object succeeded")
+	}
+}

@@ -54,6 +54,7 @@ type Metrics struct {
 	enqueues      atomic.Uint64 // requests parked by the scheduler
 	pushes        atomic.Uint64 // objects handed to parked requesters
 	retrieves     atomic.Uint64 // object fetch RPCs issued
+	leaseExpiries atomic.Uint64 // commit locks force-released by the lease reaper
 }
 
 // MetricsSnapshot is a consistent-enough copy of Metrics counters.
@@ -66,6 +67,7 @@ type MetricsSnapshot struct {
 	Enqueues      uint64
 	Pushes        uint64
 	Retrieves     uint64
+	LeaseExpiries uint64
 }
 
 // Snapshot copies the counters.
@@ -79,6 +81,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Enqueues:      m.enqueues.Load(),
 		Pushes:        m.pushes.Load(),
 		Retrieves:     m.retrieves.Load(),
+		LeaseExpiries: m.leaseExpiries.Load(),
 	}
 	for c := AbortCause(0); c < numAbortCauses; c++ {
 		s.Aborts[c] = m.aborts[c].Load()
@@ -115,6 +118,7 @@ func (s *MetricsSnapshot) Merge(other MetricsSnapshot) {
 	s.Enqueues += other.Enqueues
 	s.Pushes += other.Pushes
 	s.Retrieves += other.Retrieves
+	s.LeaseExpiries += other.LeaseExpiries
 	if s.Aborts == nil {
 		s.Aborts = make(map[AbortCause]uint64, int(numAbortCauses))
 	}

@@ -36,6 +36,13 @@ type Runtime struct {
 	waitMu  sync.Mutex
 	waiters map[waitKey]chan pushMsg
 
+	// migrated remembers, per object, the transaction whose commit last
+	// migrated it away from this node. A retransmitted commit-migration
+	// request (its reply was lost and the RPC dedup entry has aged out)
+	// must read as success, not "not owned" — see handleCommitObject.
+	migrMu   sync.Mutex
+	migrated map[object.ID]uint64
+
 	nesting NestingMode
 }
 
@@ -75,14 +82,15 @@ func NewRuntime(ep *cluster.Endpoint, size int, policy sched.Policy, st *stats.T
 		st = stats.NewTable(time.Millisecond)
 	}
 	rt := &Runtime{
-		ep:      ep,
-		clock:   ep.Clock(),
-		store:   object.NewStore(),
-		locator: cc.NewService(ep, size),
-		policy:  policy,
-		stats:   st,
-		metrics: &Metrics{},
-		waiters: make(map[waitKey]chan pushMsg),
+		ep:       ep,
+		clock:    ep.Clock(),
+		store:    object.NewStore(),
+		locator:  cc.NewService(ep, size),
+		policy:   policy,
+		stats:    st,
+		metrics:  &Metrics{},
+		waiters:  make(map[waitKey]chan pushMsg),
+		migrated: make(map[object.ID]uint64),
 	}
 	ep.Handle(KindRetrieve, rt.handleRetrieve)
 	ep.Handle(KindCheckVersion, rt.handleCheckVersion)
@@ -232,8 +240,22 @@ func (rt *Runtime) handleCommitObject(from transport.NodeID, payload any) (any, 
 	// the committer to hold the commit lock) and surrender the requester
 	// queue so scheduling state travels with the object.
 	if err := rt.store.Remove(req.Oid, req.TxID); err != nil {
+		// At-least-once delivery: if this transaction already migrated the
+		// object away (the reply was lost and the retransmission outlived
+		// the RPC dedup window), the removal is done — report success. The
+		// requester queue went with the first execution; an empty queue
+		// here only costs the parked requesters a backoff timeout.
+		rt.migrMu.Lock()
+		prior := rt.migrated[req.Oid]
+		rt.migrMu.Unlock()
+		if prior == req.TxID {
+			return commitObjResp{}, nil
+		}
 		return nil, err
 	}
+	rt.migrMu.Lock()
+	rt.migrated[req.Oid] = req.TxID
+	rt.migrMu.Unlock()
 	queue := rt.policy.ExtractQueue(req.Oid)
 	return commitObjResp{Queue: queue}, nil
 }
@@ -319,4 +341,43 @@ func (rt *Runtime) feedback(committed bool) {
 	if f, ok := rt.policy.(feedbacker); ok {
 		f.Feedback(committed)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Lock-lease expiry (crash robustness).
+
+// StartLeaseExpiry launches a reaper that force-releases commit locks held
+// longer than lease and hands the freed objects to their queued requesters.
+// It is the owner-side defence against a crashed or partitioned committer:
+// without it, a lock whose holder died mid-commit wedges every transaction
+// queued behind the object forever (the paper's model excludes this by
+// assuming reliable delivery and no failures).
+//
+// The lease must comfortably exceed the longest healthy commit (a few call
+// timeouts), or live committers will have their locks stolen mid-publish.
+// The returned stop function halts the reaper; calling it more than once is
+// safe.
+func (rt *Runtime) StartLeaseExpiry(lease time.Duration) (stop func()) {
+	interval := lease / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				for _, oid := range rt.store.ExpireLocks(lease) {
+					rt.metrics.leaseExpiries.Add(1)
+					rt.serveQueue(oid, rt.policy.OnRelease(oid))
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
 }

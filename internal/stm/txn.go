@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"dstm/internal/cc"
 	"dstm/internal/object"
 	"dstm/internal/sched"
 )
@@ -309,7 +310,12 @@ func (tx *Txn) fetch(ctx context.Context, oid object.ID, mode sched.Mode) (*objE
 	for hop := 0; hop < maxOwnerHops; hop++ {
 		owner, err := rt.locator.Locate(ctx, oid)
 		if err != nil {
-			return nil, err // unknown object: an application-level error
+			if errors.Is(err, cc.ErrUnknownObject) {
+				return nil, err // application-level error, not retryable
+			}
+			// A lookup lost to the network is transient: abort and retry
+			// rather than failing the whole Atomic call.
+			return nil, tx.convertErr(ctx, err, AbortDenied)
 		}
 
 		elapsed := time.Since(root.began)

@@ -1,0 +1,138 @@
+package testutil
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dstm/internal/apps/bank"
+	"dstm/internal/apps/dht"
+	"dstm/internal/apps/list"
+	"dstm/internal/core"
+	"dstm/internal/sched"
+	"dstm/internal/transport"
+)
+
+// chaosOpts is the shared base configuration: 15% drop, some duplication
+// and reordering, a crash/restart every 300ms. All streams derive from the
+// fixed seed, so failures reproduce.
+func chaosOpts() ChaosOptions {
+	return ChaosOptions{
+		Nodes:         3,
+		Seed:          7,
+		Drop:          0.15,
+		Duplicate:     0.05,
+		Reorder:       0.10,
+		MaxExtraDelay: time.Millisecond,
+		Workers:       3,
+		Duration:      1500 * time.Millisecond,
+		CrashEvery:    300 * time.Millisecond,
+		CrashDown:     150 * time.Millisecond,
+	}
+}
+
+// requireChaosHappened fails unless the run actually exercised the fault
+// paths it claims to: messages dropped and at least one crash cycle.
+func requireChaosHappened(t *testing.T, rep ChaosReport) {
+	t.Helper()
+	if rep.Faults.Dropped == 0 {
+		t.Fatal("no messages dropped; fault injection was not active")
+	}
+	if rep.Crashes == 0 {
+		t.Fatal("no crash/restart cycles executed")
+	}
+	if rep.Metrics.Commits == 0 {
+		t.Fatal("no transactions committed under faults; cluster made no progress")
+	}
+	t.Logf("commits=%d aborts=%d dropped=%d duplicated=%d reordered=%d crashes=%d lease-expiries=%d",
+		rep.Metrics.Commits, rep.Metrics.TotalAborts(), rep.Faults.Dropped,
+		rep.Faults.Duplicated, rep.Faults.Reordered, rep.Crashes, rep.Metrics.LeaseExpiries)
+}
+
+// TestChaosBankConservation checks the headline invariant: across 15%
+// message loss, duplication, reordering, and repeated node crashes, every
+// committed transfer is atomic, so the total balance is conserved.
+func TestChaosBankConservation(t *testing.T) {
+	cc := NewChaosCluster(t, chaosOpts())
+	rep, err := cc.Run(context.Background(), bank.New(bank.Options{AccountsPerNode: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireChaosHappened(t, rep)
+}
+
+// TestChaosListIntegrity runs the sorted linked list under the same faults:
+// the list must stay strictly sorted and structurally sound (no dangling or
+// duplicated links from torn multi-object commits).
+func TestChaosListIntegrity(t *testing.T) {
+	opts := chaosOpts()
+	opts.Seed = 11
+	cc := NewChaosCluster(t, opts)
+	rep, err := cc.Run(context.Background(), list.New(list.Options{KeyRange: 24, InitialSize: 12}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireChaosHappened(t, rep)
+}
+
+// TestChaosDHTPlacement runs the DHT: every surviving key must live in the
+// bucket it hashes to (no writes applied to the wrong shard by duplicated
+// or reordered commit messages).
+func TestChaosDHTPlacement(t *testing.T) {
+	opts := chaosOpts()
+	opts.Seed = 23
+	cc := NewChaosCluster(t, opts)
+	rep, err := cc.Run(context.Background(), dht.New(dht.Options{BucketsPerNode: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireChaosHappened(t, rep)
+}
+
+// TestChaosBankRTSScheduler repeats the bank run under the paper's RTS
+// scheduler, whose enqueue/hand-off path adds one-way push messages that
+// the fault model can drop: queued transactions must still terminate
+// (backoff expiry aborts them) and money stays conserved.
+func TestChaosBankRTSScheduler(t *testing.T) {
+	opts := chaosOpts()
+	opts.Seed = 31
+	opts.MkPolicy = func() sched.Policy { return core.New(core.Options{CLThreshold: 3}) }
+	cc := NewChaosCluster(t, opts)
+	rep, err := cc.Run(context.Background(), bank.New(bank.Options{AccountsPerNode: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireChaosHappened(t, rep)
+}
+
+// TestChaosSoakBankHeavyLoss is the soak: 20% drop with aggressive crash
+// cycling for several seconds, on a latency-bearing network. Skipped in
+// -short mode.
+func TestChaosSoakBankHeavyLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	opts := ChaosOptions{
+		Nodes:         4,
+		Seed:          42,
+		Drop:          0.20,
+		Duplicate:     0.05,
+		Reorder:       0.10,
+		MaxExtraDelay: 2 * time.Millisecond,
+		Latency:       transport.UniformLatency(200 * time.Microsecond),
+		Workers:       4,
+		Duration:      6 * time.Second,
+		CrashEvery:    400 * time.Millisecond,
+		CrashDown:     200 * time.Millisecond,
+		MkPolicy:      func() sched.Policy { return core.New(core.Options{CLThreshold: 3}) },
+	}
+	cc := NewChaosCluster(t, opts)
+	rep, err := cc.Run(context.Background(), bank.New(bank.Options{AccountsPerNode: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireChaosHappened(t, rep)
+	if rep.Crashes < 5 {
+		t.Fatalf("only %d crash cycles in a %v soak; crash controller stalled", rep.Crashes, opts.Duration)
+	}
+}

@@ -46,11 +46,21 @@ func (m MetricLatency) Delay(from, to NodeID) time.Duration {
 		a, b = b, a
 	}
 	h := splitmix64(uint64(a)<<32 | uint64(uint32(b)) ^ m.Seed*0x9e3779b97f4a7c15)
-	span := int64(m.Max - m.Min)
-	if span < 0 {
-		span = 0
+	// Clamp a misordered band (Max < Min) by normalising it: the delay is
+	// always drawn from [min(Min,Max), max(Min,Max)], never from the
+	// negative span the raw subtraction would produce.
+	lo, hi := m.Min, m.Max
+	if hi < lo {
+		lo, hi = hi, lo
 	}
-	d := m.Min
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < lo {
+		hi = lo
+	}
+	span := int64(hi - lo)
+	d := lo
 	if span > 0 {
 		d += time.Duration(int64(h % uint64(span+1)))
 	}

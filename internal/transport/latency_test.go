@@ -60,6 +60,39 @@ func TestMetricLatencyScale(t *testing.T) {
 	}
 }
 
+// Regression: a misordered band (Max < Min) used to collapse the span to
+// zero and return Min — a delay above the caller's stated maximum. The band
+// is now normalised, so the delay always lies within [min, max] and equals
+// the correctly-ordered model's delay.
+func TestMetricLatencySwappedBoundsClamped(t *testing.T) {
+	swapped := MetricLatency{Min: 50 * time.Millisecond, Max: time.Millisecond, Seed: 9}
+	normal := MetricLatency{Min: time.Millisecond, Max: 50 * time.Millisecond, Seed: 9}
+	for i := NodeID(0); i < 10; i++ {
+		for j := NodeID(0); j < 10; j++ {
+			d := swapped.Delay(i, j)
+			if i == j {
+				if d != 0 {
+					t.Fatalf("self-delay(%d) = %v", i, d)
+				}
+				continue
+			}
+			if d < time.Millisecond || d > 50*time.Millisecond {
+				t.Fatalf("Delay(%d,%d) = %v out of clamped band [1ms,50ms]", i, j, d)
+			}
+			if want := normal.Delay(i, j); d != want {
+				t.Fatalf("Delay(%d,%d) = %v, want %v (same band, normalised)", i, j, d, want)
+			}
+		}
+	}
+}
+
+func TestMetricLatencyNegativeMinClamped(t *testing.T) {
+	m := MetricLatency{Min: -time.Millisecond, Max: -time.Microsecond, Seed: 3}
+	if d := m.Delay(1, 2); d < 0 {
+		t.Fatalf("Delay = %v, negative delays must be clamped to zero", d)
+	}
+}
+
 func TestMetricLatencyVariesAcrossPairs(t *testing.T) {
 	m := MetricLatency{Min: time.Millisecond, Max: 50 * time.Millisecond, Seed: 1}
 	seen := map[time.Duration]bool{}

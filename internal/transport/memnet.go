@@ -24,6 +24,10 @@ type Network struct {
 	// returning false drops the message. Used for failure injection in
 	// tests. Stored atomically so Send never takes the network lock.
 	interceptor atomic.Value // func(*Message) bool
+
+	// faults, when set, injects drop/duplicate/reorder/partition/crash
+	// faults into every Send. Stored atomically for the same reason.
+	faults atomic.Pointer[FaultModel]
 }
 
 // NewNetwork creates a network with the given latency model (nil means
@@ -47,6 +51,14 @@ func (n *Network) SetInterceptor(f func(*Message) bool) {
 	}
 	n.interceptor.Store(f)
 }
+
+// SetFaults installs (or, with nil, removes) a fault model. Every
+// subsequent Send consults it; see FaultModel for the semantics. Intended
+// for chaos tests and lossy-network experiments.
+func (n *Network) SetFaults(fm *FaultModel) { n.faults.Store(fm) }
+
+// Faults returns the installed fault model, or nil.
+func (n *Network) Faults() *FaultModel { return n.faults.Load() }
 
 // Endpoint creates (or returns) the endpoint for id.
 func (n *Network) Endpoint(id NodeID) Transport {
@@ -86,7 +98,33 @@ type timedMsg struct {
 }
 
 type memLink struct {
-	ch chan timedMsg
+	dst *memEndpoint
+
+	// mu serialises enqueue against close: a straggler Send racing the
+	// endpoint's Close (e.g. a reply triggered by a late fault-injected
+	// delivery) must be dropped, not crash on a closed channel.
+	mu     sync.Mutex
+	ch     chan timedMsg
+	closed bool
+}
+
+// enqueue queues tm for FIFO delivery, dropping it if the link is closed.
+func (lk *memLink) enqueue(tm timedMsg) {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if !lk.closed {
+		lk.ch <- tm
+	}
+}
+
+// shut closes the link's channel exactly once.
+func (lk *memLink) shut() {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if !lk.closed {
+		lk.closed = true
+		close(lk.ch)
+	}
 }
 
 type memEndpoint struct {
@@ -113,10 +151,19 @@ func (e *memEndpoint) deliver(m *Message) {
 }
 
 // Send implements Transport. Messages to the same destination are delivered
-// in send order after the link's one-way delay.
+// in send order after the link's one-way delay — unless an installed fault
+// model drops the message or injects an out-of-order (reordered/duplicate)
+// copy, which is delivered on its own timer, outside the link's FIFO.
 func (e *memEndpoint) Send(m *Message) error {
 	if f, ok := e.net.interceptor.Load().(func(*Message) bool); ok && f != nil && !f(m) {
 		return nil // dropped by fault injection
+	}
+	var out Outcome
+	if fm := e.net.faults.Load(); fm != nil {
+		out = fm.Decide(e.id, m.To)
+		if out.Drop {
+			return nil
+		}
 	}
 	e.mu.Lock()
 	if e.closed {
@@ -132,29 +179,52 @@ func (e *memEndpoint) Send(m *Message) error {
 			e.mu.Unlock()
 			return ErrUnknownNode
 		}
-		lk = &memLink{ch: make(chan timedMsg, 1024)}
+		lk = &memLink{ch: make(chan timedMsg, 1024), dst: dst}
 		e.links[m.To] = lk
 		e.net.links.Add(1)
-		go e.runLink(lk, dst)
+		go e.runLink(lk)
+	}
+	base := e.net.latency.Delay(e.id, m.To)
+	if out.Dup {
+		// Out-of-band goroutines register with the network waitgroup while
+		// the endpoint lock still guarantees it is not closed, so Close
+		// cannot race the Add.
+		e.net.links.Add(1)
+		go e.deliverOutOfBand(lk.dst, *m, base+out.DupDelay)
+	}
+	if out.Delay > 0 {
+		e.net.links.Add(1)
+		go e.deliverOutOfBand(lk.dst, *m, base+out.Delay)
+		e.mu.Unlock()
+		return nil
 	}
 	e.mu.Unlock()
 
-	at := time.Now().Add(e.net.latency.Delay(e.id, m.To))
-	lk.ch <- timedMsg{at: at, msg: *m}
+	lk.enqueue(timedMsg{at: time.Now().Add(base), msg: *m})
 	return nil
 }
 
 // runLink delivers one link's messages in FIFO order, honouring each
 // message's delivery time.
-func (e *memEndpoint) runLink(lk *memLink, dst *memEndpoint) {
+func (e *memEndpoint) runLink(lk *memLink) {
 	defer e.net.links.Done()
 	for tm := range lk.ch {
 		if d := time.Until(tm.at); d > 0 {
 			time.Sleep(d)
 		}
 		m := tm.msg
-		dst.deliver(&m)
+		lk.dst.deliver(&m)
 	}
+}
+
+// deliverOutOfBand delivers one message copy outside its link's FIFO order
+// (a reordered or duplicated copy from the fault model).
+func (e *memEndpoint) deliverOutOfBand(dst *memEndpoint, m Message, d time.Duration) {
+	defer e.net.links.Done()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	dst.deliver(&m)
 }
 
 // Close implements Transport.
@@ -169,7 +239,7 @@ func (e *memEndpoint) Close() error {
 	e.links = map[NodeID]*memLink{}
 	e.mu.Unlock()
 	for _, lk := range links {
-		close(lk.ch)
+		lk.shut()
 	}
 	return nil
 }

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 verification: build, test, and race-test the whole module.
+# Mirrors `make verify`; kept as a script for CI systems without make.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "CI OK"
