@@ -1,24 +1,50 @@
 GO ?= go
+FUZZTIME ?= 3s
+COV_FLOOR ?= 70
 
-.PHONY: all build test race bench verify clean
+.PHONY: all build vet test cover race fuzz bench verify clean
 
 all: verify
 
 build:
 	$(GO) build ./...
 
+vet:
+	$(GO) vet ./...
+
 test:
 	$(GO) test ./...
+
+# cover measures the core protocol packages (the STM engine and the RTS
+# scheduler) and warns when the combined figure slips under the soft floor.
+# scripts/ci.sh enforces the same floor (strict with CI_COV_STRICT=1).
+cover:
+	$(GO) test -coverprofile=coverage.out -coverpkg=dstm/internal/stm,dstm/internal/core ./...
+	@$(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/,"",$$3); \
+		printf "coverage (internal/stm + internal/core): %s%% (floor $(COV_FLOOR)%%)\n", $$3; \
+		if ($$3+0 < $(COV_FLOOR)) print "WARNING: below the soft floor" > "/dev/stderr"}'
 
 race:
 	$(GO) test -race ./...
 
-# verify is the tier-1 gate: build, plain tests, then the full suite under
-# the race detector (chaos/soak tests included).
-verify: build test race
+# fuzz runs every fuzz target for FUZZTIME each (seed corpora are under
+# each package's testdata/fuzz and also replay during plain `make test`).
+fuzz:
+	$(GO) test ./internal/trace/ -fuzz FuzzReadJSONL -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/ -fuzz FuzzEventRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/transport/ -fuzz FuzzMessageGobRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/transport/ -fuzz FuzzMessageGobDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stm/ -fuzz FuzzRetrieveRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stm/ -fuzz FuzzCommitPushRoundTrip -fuzztime $(FUZZTIME)
+
+# verify is the tier-1 gate: vet, build, plain tests with the coverage
+# floor, then the full suite under the race detector (chaos/soak tests
+# included), then a short fuzz pass.
+verify: vet build cover race fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
 clean:
 	$(GO) clean ./...
+	rm -f coverage.out

@@ -45,6 +45,11 @@ func main() {
 		duplicate  = flag.Float64("duplicate", 0, "message duplication probability (fault injection)")
 		reorder    = flag.Float64("reorder", 0, "message reorder probability (fault injection)")
 		lockLease  = flag.Duration("locklease", 0, "force-release commit locks held this long (0 = off)")
+		traceOn    = flag.Bool("trace", false, "record protocol events and run the trace checker on every cell")
+		traceFile  = flag.String("tracefile", "", "write the merged trace as JSONL (implies -trace; multi-cell experiments overwrite per cell)")
+		traceCap   = flag.Int("tracecap", 0, "per-node trace ring capacity (0 = default)")
+		scheduler  = flag.String("scheduler", "RTS", "scheduler for -experiment cell (RTS | TFA | TFA+Backoff)")
+		readRatio  = flag.Float64("readratio", 0.9, "read fraction for -experiment cell")
 	)
 	flag.Parse()
 
@@ -63,6 +68,9 @@ func main() {
 		Reorder:        *reorder,
 		MaxExtraDelay:  time.Millisecond,
 		LockLease:      *lockLease,
+		Trace:          *traceOn || *traceFile != "",
+		TraceCap:       *traceCap,
+		TracePath:      *traceFile,
 	}
 	if base.Drop > 0 || base.Duplicate > 0 || base.Reorder > 0 {
 		// Lossy runs need retransmissions paced to the scaled link delays,
@@ -78,6 +86,8 @@ func main() {
 
 	var err error
 	switch *experiment {
+	case "cell":
+		err = runCell(ctx, base, benches, harness.Scheduler(*scheduler), *readRatio)
 	case "table1":
 		err = runTable1(ctx, base, benches)
 	case "fig4":
@@ -101,6 +111,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rtsbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runCell runs a single experiment cell per benchmark and prints the full
+// outcome breakdown (per-cause abort counts with latency histograms, and —
+// with -trace — the protocol-checker verdict). The one-cell mode is the
+// natural home of -tracefile: the JSONL on disk is exactly that cell's run.
+func runCell(ctx context.Context, base harness.Config, benches []harness.BenchmarkKind,
+	sched harness.Scheduler, readRatio float64) error {
+	for _, b := range benches {
+		cfg := base
+		cfg.Benchmark = b
+		cfg.Scheduler = sched
+		cfg.ReadRatio = readRatio
+		res, err := harness.Run(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s / %s (read %.0f%%)\n", harness.BenchmarkLabel(b), sched, 100*readRatio)
+		fmt.Println(res.MetricsTable())
+		if res.CheckErr != nil {
+			return fmt.Errorf("%s invariant: %w", b, res.CheckErr)
+		}
+		if res.ProtocolErr != nil {
+			return fmt.Errorf("%s protocol trace: %w", b, res.ProtocolErr)
+		}
+	}
+	return nil
 }
 
 func parseBenches(s string) []harness.BenchmarkKind {

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dstm/internal/trace"
 	"dstm/internal/transport"
 	"dstm/internal/vclock"
 )
@@ -119,8 +120,9 @@ type Endpoint struct {
 	tr    transport.Transport
 	clock *vclock.Clock
 
-	corr  atomic.Uint64
-	retry atomic.Value // RetryPolicy
+	corr   atomic.Uint64
+	retry  atomic.Value // RetryPolicy
+	tracer atomic.Pointer[trace.Recorder]
 
 	mu        sync.Mutex
 	pending   map[uint64]chan *transport.Message
@@ -154,6 +156,11 @@ func (e *Endpoint) SetRetryPolicy(p RetryPolicy) { e.retry.Store(p) }
 
 // RetryPolicy returns the endpoint's current retransmission policy.
 func (e *Endpoint) RetryPolicy() RetryPolicy { return e.retry.Load().(RetryPolicy) }
+
+// SetTracer installs a protocol event recorder on the messaging layer (nil
+// disables). Every send and receive is emitted with its correlation ID so
+// the trace checker can verify reply correlation.
+func (e *Endpoint) SetTracer(tr *trace.Recorder) { e.tracer.Store(tr) }
 
 // Self returns this endpoint's node ID.
 func (e *Endpoint) Self() transport.NodeID { return e.tr.Self() }
@@ -272,6 +279,7 @@ func (e *Endpoint) Call(ctx context.Context, to transport.NodeID, kind transport
 		if err != nil {
 			return nil, fmt.Errorf("cluster: call %v to node %d: %w", kind, to, err)
 		}
+		e.tracer.Load().Emit(trace.Event{Type: trace.EvMsgSend, Peer: to, Corr: corr, A: uint64(kind)})
 
 		body, err, expired := await(rp.PerTryTimeout)
 		if !expired {
@@ -314,17 +322,28 @@ func (e *Endpoint) Notify(to transport.NodeID, kind transport.Kind, payload any)
 	if closed {
 		return ErrEndpointClosed
 	}
-	return e.tr.Send(&transport.Message{
+	err := e.tr.Send(&transport.Message{
 		From:    e.Self(),
 		To:      to,
 		Clock:   e.clock.Now(),
 		Kind:    kind,
 		Payload: payload,
 	})
+	if err == nil {
+		e.tracer.Load().Emit(trace.Event{Type: trace.EvMsgSend, Peer: to, A: uint64(kind)})
+	}
+	return err
 }
 
 func (e *Endpoint) onMessage(m *transport.Message) {
 	e.clock.Merge(m.Clock)
+	if tr := e.tracer.Load(); tr.Enabled() {
+		ev := trace.Event{Type: trace.EvMsgRecv, Peer: m.From, Corr: m.Corr, A: uint64(m.Kind)}
+		if m.IsReply {
+			ev.Detail = "reply"
+		}
+		tr.Emit(ev)
+	}
 
 	if m.IsReply {
 		e.mu.Lock()
@@ -408,7 +427,7 @@ func (e *Endpoint) evictDedupLocked(key dedupKey) {
 
 func (e *Endpoint) reply(req *transport.Message, env envelope) {
 	// Best effort: the caller times out if the reply cannot be sent.
-	_ = e.tr.Send(&transport.Message{
+	err := e.tr.Send(&transport.Message{
 		From:    e.Self(),
 		To:      req.From,
 		Clock:   e.clock.Now(),
@@ -417,6 +436,11 @@ func (e *Endpoint) reply(req *transport.Message, env envelope) {
 		IsReply: true,
 		Payload: env,
 	})
+	if err == nil {
+		e.tracer.Load().Emit(trace.Event{
+			Type: trace.EvMsgSend, Peer: req.From, Corr: req.Corr, Detail: "reply", A: uint64(req.Kind),
+		})
+	}
 }
 
 // Close shuts the endpoint down and fails all pending calls.

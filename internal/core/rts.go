@@ -31,6 +31,7 @@ import (
 
 	"dstm/internal/object"
 	"dstm/internal/sched"
+	"dstm/internal/trace"
 	"dstm/internal/transport"
 )
 
@@ -74,6 +75,13 @@ type RTS struct {
 
 	mu    sync.Mutex
 	lists map[object.ID]*requesterList
+
+	// tracer records queue transitions; handoffSeq groups the pops of one
+	// release so the checker can validate the hand-off head rule. Both are
+	// guarded by mu: queue events MUST be emitted under the same critical
+	// section that mutates the queue, or the trace would interleave them.
+	tracer     *trace.Recorder
+	handoffSeq uint64
 }
 
 var _ sched.Policy = (*RTS)(nil)
@@ -103,6 +111,14 @@ func New(opts Options) *RTS {
 
 // Name implements sched.Policy.
 func (r *RTS) Name() string { return "RTS" }
+
+// SetTracer installs a protocol event recorder for queue transitions (nil
+// disables). Call before the scheduler starts taking requests.
+func (r *RTS) SetTracer(tr *trace.Recorder) {
+	r.mu.Lock()
+	r.tracer = tr
+	r.mu.Unlock()
+}
 
 // Threshold returns the CL threshold currently in force.
 func (r *RTS) Threshold() int {
@@ -139,7 +155,9 @@ func (r *RTS) OnConflict(req sched.Request) sched.Decision {
 		r.lists[req.Oid] = lst
 	}
 	// A requester that timed out and retried must not occupy two slots.
-	lst.removeDuplicate(req.Node, req.TxID)
+	if lst.removeDuplicate(req.Node, req.TxID) {
+		r.tracer.Emit(trace.Event{Type: trace.EvDequeue, Tx: req.TxID, Oid: req.Oid, Detail: "dup"})
+	}
 
 	maxQueue := r.opts.MaxQueue
 	threshold := r.Threshold()
@@ -147,18 +165,26 @@ func (r *RTS) OnConflict(req sched.Request) sched.Decision {
 		maxQueue = threshold
 	}
 
+	// contention = local CL of the object (queued requesters plus this
+	// one) + the requester's remote CL (objects it already holds).
+	contention := lst.len() + 1 + req.MyCL
+
 	// Enqueue only a transaction whose elapsed execution time exceeds the
 	// backoff it would have to sit out (otherwise aborting and restarting
 	// is cheaper than queueing, §III-A).
-	if lst.bk() < req.Elapsed && lst.len() < maxQueue {
-		// contention = local CL of the object (queued requesters plus this
-		// one) + the requester's remote CL (objects it already holds).
-		contention := lst.len() + 1 + req.MyCL
-		if contention < threshold {
-			lst.add(req, contention)
-			return sched.Decision{Enqueue: true, Backoff: lst.bk()}
-		}
+	if lst.bk() < req.Elapsed && lst.len() < maxQueue && contention < threshold {
+		lst.add(req, contention)
+		bk := lst.bk()
+		r.tracer.Emit(trace.Event{
+			Type: trace.EvEnqueue, Tx: req.TxID, Oid: req.Oid,
+			Detail: req.Mode.String(), A: uint64(lst.len()), B: uint64(bk),
+		})
+		return sched.Decision{Enqueue: true, Backoff: bk}
 	}
+	r.tracer.Emit(trace.Event{
+		Type: trace.EvDeny, Tx: req.TxID, Oid: req.Oid,
+		Detail: req.Mode.String(), A: uint64(contention),
+	})
 	return sched.Decision{}
 }
 
@@ -189,6 +215,17 @@ func (r *RTS) popLocked(oid object.ID) []sched.Request {
 	if lst.len() == 0 {
 		delete(r.lists, oid)
 	}
+	if len(out) > 0 && r.tracer.Enabled() {
+		// Pops of one release share a group ID so the checker can validate
+		// the head rule over the whole hand-off set.
+		r.handoffSeq++
+		for _, q := range out {
+			r.tracer.Emit(trace.Event{
+				Type: trace.EvHandOff, Tx: q.TxID, Oid: oid,
+				Detail: q.Mode.String(), A: r.handoffSeq,
+			})
+		}
+	}
 	return out
 }
 
@@ -205,6 +242,7 @@ func (r *RTS) ExtractQueue(oid object.ID) []sched.Request {
 	out := make([]sched.Request, len(lst.entries))
 	for i, e := range lst.entries {
 		out[i] = e.req
+		r.tracer.Emit(trace.Event{Type: trace.EvDequeue, Tx: e.req.TxID, Oid: oid, Detail: "extract"})
 	}
 	return out
 }
@@ -224,8 +262,12 @@ func (r *RTS) AdoptQueue(oid object.ID, reqs []sched.Request) {
 		r.lists[oid] = lst
 	}
 	adopted := make([]listEntry, 0, len(reqs)+len(lst.entries))
-	for _, q := range reqs {
+	for i, q := range reqs {
 		adopted = append(adopted, listEntry{req: q})
+		r.tracer.Emit(trace.Event{
+			Type: trace.EvAdopt, Tx: q.TxID, Oid: oid,
+			Detail: q.Mode.String(), A: uint64(i),
+		})
 	}
 	lst.entries = append(adopted, lst.entries...)
 }
@@ -272,14 +314,16 @@ func (l *requesterList) add(req sched.Request, contention int) {
 }
 
 // removeDuplicate drops a stale entry from the same node and transaction
-// (paper: "the duplicated transaction will be removed from a queue").
-func (l *requesterList) removeDuplicate(node transport.NodeID, txid uint64) {
+// (paper: "the duplicated transaction will be removed from a queue"). It
+// reports whether an entry was actually removed.
+func (l *requesterList) removeDuplicate(node transport.NodeID, txid uint64) bool {
 	for i, e := range l.entries {
 		if e.req.Node == node && e.req.TxID == txid {
 			l.entries = append(l.entries[:i], l.entries[i+1:]...)
-			return
+			return true
 		}
 	}
+	return false
 }
 
 // pop removes and returns the next hand-off group: the head write

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"strings"
+
+	"dstm/internal/stm"
 )
 
 // Contention names the paper's two workload mixes.
@@ -43,6 +45,39 @@ func BenchmarkLabel(k BenchmarkKind) string {
 	}
 }
 
+// MetricsTable renders one result's outcome breakdown: commits, the
+// per-cause abort counts, and each outcome's attempt-latency histogram
+// (count, mean and tail quantiles), so time lost per abort cause is
+// visible next to its frequency.
+func (r Result) MetricsTable() string {
+	var b strings.Builder
+	m := r.Metrics
+	fmt.Fprintf(&b, "%-22s %8d   %.1f tx/s   [%s]\n",
+		"commit", m.Commits, r.Throughput(), m.Latency[stm.LatencyCommitKey])
+	for _, c := range stm.AbortCauses() {
+		if m.Aborts[c] == 0 && m.Latency[c.String()].Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-22s %8d   [%s]\n", "abort:"+c.String(), m.Aborts[c], m.Latency[c.String()])
+	}
+	fmt.Fprintf(&b, "%-22s %8d   pushes %d  retrieves %d  lease-expiries %d\n",
+		"enqueues", m.Enqueues, m.Pushes, m.Retrieves, m.LeaseExpiries)
+	fmt.Fprintf(&b, "%-22s %8d   nested-own %d  nested-parent %d (rate %.1f%%)\n",
+		"nested-commits", m.NestedCommits, m.NestedOwn, m.NestedParent, 100*m.NestedAbortRate())
+	if r.Config.Trace {
+		fmt.Fprintf(&b, "%-22s %8d   dropped %d  protocol-check %s\n",
+			"trace-events", r.TraceEvents, r.TraceDropped, errLabel(r.ProtocolErr))
+	}
+	return b.String()
+}
+
+func errLabel(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
+}
+
 // ---------------------------------------------------------------------------
 // Table I — abort rate of nested transactions.
 
@@ -80,6 +115,9 @@ func RunTable1(ctx context.Context, base Config, benches []BenchmarkKind) (Table
 				}
 				if res.CheckErr != nil {
 					return Table1{}, fmt.Errorf("harness: %s invariant: %w", b, res.CheckErr)
+				}
+				if res.ProtocolErr != nil {
+					return Table1{}, fmt.Errorf("harness: %s protocol trace: %w", b, res.ProtocolErr)
 				}
 				rate := res.NestedAbortRate()
 				switch {
@@ -153,6 +191,9 @@ func RunThroughputSweep(ctx context.Context, base Config, bench BenchmarkKind,
 			if res.CheckErr != nil {
 				return Sweep{}, fmt.Errorf("harness: %s invariant: %w", bench, res.CheckErr)
 			}
+			if res.ProtocolErr != nil {
+				return Sweep{}, fmt.Errorf("harness: %s protocol trace: %w", bench, res.ProtocolErr)
+			}
 			pt.Throughput[s] = res.Throughput()
 		}
 		sw.Points = append(sw.Points, pt)
@@ -217,6 +258,9 @@ func RunSpeedupSummary(ctx context.Context, base Config, benches []BenchmarkKind
 				}
 				if res.CheckErr != nil {
 					return nil, fmt.Errorf("harness: %s invariant: %w", b, res.CheckErr)
+				}
+				if res.ProtocolErr != nil {
+					return nil, fmt.Errorf("harness: %s protocol trace: %w", b, res.ProtocolErr)
 				}
 				tp[s] = res.Throughput()
 			}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -25,6 +26,8 @@ import (
 	"dstm/internal/sched"
 	"dstm/internal/stats"
 	"dstm/internal/stm"
+	"dstm/internal/trace"
+	"dstm/internal/trace/check"
 	"dstm/internal/transport"
 	"dstm/internal/vclock"
 )
@@ -94,6 +97,17 @@ type Config struct {
 	// LockLease, when positive, starts each node's lock-lease reaper so a
 	// crashed or wedged committer cannot block an object forever.
 	LockLease time.Duration
+
+	// Trace enables protocol event tracing on every node (from before
+	// setup, so the checker sees complete state) and replays the merged
+	// log through the trace/check oracle after the run; the verdict lands
+	// in Result.ProtocolErr. TraceCap sets each node's ring capacity
+	// (0 = trace.DefaultCapacity); if any ring wraps, the stateful
+	// invariants are skipped (see trace/check Options.Truncated).
+	// TracePath, when non-empty, writes the merged trace there as JSONL.
+	Trace     bool
+	TraceCap  int
+	TracePath string
 
 	// CallRetry overrides the RPC retry policy on every endpoint. The zero
 	// value keeps cluster.DefaultRetryPolicy. Lossy configs should shorten
@@ -172,6 +186,15 @@ type Result struct {
 	Elapsed  time.Duration
 	Metrics  stm.MetricsSnapshot
 	CheckErr error
+
+	// Protocol trace verdict (Config.Trace only): ProtocolErr is the trace
+	// checker's verdict over the merged event log, TraceEvents the merged
+	// log's size, and TraceDropped how many events were lost to ring
+	// wrap-around across all nodes (> 0 downgrades the check to the
+	// truncated-trace invariants).
+	ProtocolErr  error
+	TraceEvents  int
+	TraceDropped uint64
 }
 
 // Throughput is committed top-level transactions per second, cluster-wide.
@@ -250,22 +273,31 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	defer net.Close()
 
 	rts := make([]*stm.Runtime, cfg.Nodes)
+	var recorders []*trace.Recorder
+	var reaperStops []func()
 	for i := 0; i < cfg.Nodes; i++ {
 		st := stats.NewTable(time.Millisecond)
 		pol, err := newPolicy(cfg, st)
 		if err != nil {
 			return Result{}, err
 		}
-		ep := cluster.NewEndpoint(net.Endpoint(transport.NodeID(i)), &vclock.Clock{})
+		clk := &vclock.Clock{}
+		ep := cluster.NewEndpoint(net.Endpoint(transport.NodeID(i)), clk)
 		if (cfg.CallRetry != cluster.RetryPolicy{}) {
 			ep.SetRetryPolicy(cfg.CallRetry)
 		}
 		rts[i] = stm.NewRuntime(ep, cfg.Nodes, pol, st)
+		if cfg.Trace {
+			rec := trace.NewRecorder(transport.NodeID(i), cfg.TraceCap, clk.Now)
+			rts[i].SetTracer(rec)
+			recorders = append(recorders, rec)
+		}
 		if cfg.FlatNesting {
 			rts[i].SetNesting(stm.FlatNesting)
 		}
 		if cfg.LockLease > 0 {
 			stop := rts[i].StartLeaseExpiry(cfg.LockLease)
+			reaperStops = append(reaperStops, stop)
 			defer stop()
 		}
 	}
@@ -334,7 +366,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	net.SetFaults(nil)
 
 	m := aggregate(rts)
-	subtract(&m, baseline)
+	m.Sub(baseline)
 
 	res := Result{Config: cfg, Elapsed: elapsed, Metrics: m}
 	// Bound the invariant check so a broken cluster state reports an error
@@ -342,6 +374,43 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	checkCtx, checkCancel := context.WithTimeout(ctx, 30*time.Second)
 	defer checkCancel()
 	res.CheckErr = bench.Check(checkCtx, rts[0])
+
+	if cfg.Trace {
+		// Quiesce before collecting so no goroutine is mid-way through
+		// emitting a hand-off group: stop the lease reapers, shut the
+		// network (idempotent; drains the per-link delivery goroutines),
+		// and give spawned handler goroutines a beat to finish.
+		for _, stop := range reaperStops {
+			stop()
+		}
+		net.Close()
+		time.Sleep(25 * time.Millisecond)
+
+		logs := make([][]trace.Event, len(recorders))
+		var dropped uint64
+		for i, rec := range recorders {
+			logs[i] = rec.Events()
+			dropped += rec.Dropped()
+		}
+		merged := trace.Merge(logs...)
+		res.TraceEvents = len(merged)
+		res.TraceDropped = dropped
+		rep := check.Run(merged, check.Options{Truncated: dropped > 0})
+		res.ProtocolErr = rep.Err()
+		if cfg.TracePath != "" {
+			f, err := os.Create(cfg.TracePath)
+			if err != nil {
+				return res, fmt.Errorf("harness: trace file: %w", err)
+			}
+			werr := trace.WriteJSONL(f, merged)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return res, fmt.Errorf("harness: trace write: %w", werr)
+			}
+		}
+	}
 	return res, nil
 }
 
@@ -359,19 +428,4 @@ func aggregate(rts []*stm.Runtime) stm.MetricsSnapshot {
 		total.Merge(s)
 	}
 	return total
-}
-
-// subtract removes the baseline (setup-time) counters from m.
-func subtract(m *stm.MetricsSnapshot, base stm.MetricsSnapshot) {
-	m.Commits -= base.Commits
-	m.NestedCommits -= base.NestedCommits
-	m.NestedOwn -= base.NestedOwn
-	m.NestedParent -= base.NestedParent
-	m.Enqueues -= base.Enqueues
-	m.Pushes -= base.Pushes
-	m.Retrieves -= base.Retrieves
-	m.LeaseExpiries -= base.LeaseExpiries
-	for c, v := range base.Aborts {
-		m.Aborts[c] -= v
-	}
 }

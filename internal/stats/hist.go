@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log2 latency buckets: bucket b covers
+// [2^b, 2^(b+1)) nanoseconds, so 40 buckets span 1ns to ~18 minutes.
+const histBuckets = 40
+
+// LatencyHist is a lock-free log2-bucketed latency histogram. The zero
+// value is ready to use; all methods are safe for concurrent use.
+type LatencyHist struct {
+	counts [histBuckets]atomic.Uint64
+	sumNs  atomic.Uint64
+}
+
+func bucketOf(d time.Duration) int {
+	ns := int64(d)
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) - 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one latency sample.
+func (h *LatencyHist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.sumNs.Add(uint64(d))
+}
+
+// Snapshot copies the histogram's counters.
+func (h *LatencyHist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.SumNs = h.sumNs.Load()
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a LatencyHist.
+type HistSnapshot struct {
+	Counts [histBuckets]uint64
+	SumNs  uint64
+}
+
+// Count returns the total number of recorded samples.
+func (s HistSnapshot) Count() uint64 {
+	var t uint64
+	for _, c := range s.Counts {
+		t += c
+	}
+	return t
+}
+
+// Mean returns the average recorded latency (0 when empty).
+func (s HistSnapshot) Mean() time.Duration {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNs / n)
+}
+
+// Merge adds other's buckets into s.
+func (s *HistSnapshot) Merge(other HistSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.SumNs += other.SumNs
+}
+
+// Sub removes a baseline snapshot from s, saturating at zero (used to
+// discard warm-up samples recorded before a measurement window opened).
+func (s *HistSnapshot) Sub(base HistSnapshot) {
+	for i := range s.Counts {
+		if s.Counts[i] >= base.Counts[i] {
+			s.Counts[i] -= base.Counts[i]
+		} else {
+			s.Counts[i] = 0
+		}
+	}
+	if s.SumNs >= base.SumNs {
+		s.SumNs -= base.SumNs
+	} else {
+		s.SumNs = 0
+	}
+}
+
+// Quantile returns an upper bound on the q-quantile latency (q in [0, 1]):
+// the top edge of the bucket holding the q-th sample. Returns 0 when empty.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n-1))
+	var seen uint64
+	for b, c := range s.Counts {
+		seen += c
+		if c > 0 && seen > rank {
+			return time.Duration(uint64(1) << (uint(b) + 1))
+		}
+	}
+	return time.Duration(uint64(1) << histBuckets)
+}
+
+// String renders count, mean and tail quantiles compactly.
+func (s HistSnapshot) String() string {
+	n := s.Count()
+	if n == 0 {
+		return "n=0"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v p50<%v p99<%v", n, s.Mean(), s.Quantile(0.50), s.Quantile(0.99))
+	return b.String()
+}

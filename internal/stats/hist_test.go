@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{1, 0},
+		{2, 1},
+		{3, 1},
+		{1024, 10},
+		{time.Duration(1) << 60, histBuckets - 1}, // beyond range clamps to last
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistObserveAndQuantile(t *testing.T) {
+	var h LatencyHist
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond) // bucket 9 (512ns..1024ns): ~1µs
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count() != 100 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Mean() < 90*time.Microsecond || s.Mean() > 120*time.Microsecond {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if q := s.Quantile(0.5); q > 4*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~1µs bucket bound", q)
+	}
+	if q := s.Quantile(0.99); q < time.Millisecond || q > 4*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~1ms bucket bound", q)
+	}
+	if s.Quantile(0.99) < s.Quantile(0.5) {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var s HistSnapshot
+	if s.Count() != 0 || s.Mean() != 0 || s.Quantile(0.99) != 0 {
+		t.Fatalf("empty snapshot not all-zero: %v", s)
+	}
+	if s.String() != "n=0" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestHistMergeAndSub(t *testing.T) {
+	var a, b LatencyHist
+	a.Observe(time.Microsecond)
+	a.Observe(time.Millisecond)
+	b.Observe(time.Microsecond)
+
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := sa
+	merged.Merge(sb)
+	if merged.Count() != 3 {
+		t.Fatalf("merged count = %d", merged.Count())
+	}
+	if merged.SumNs != sa.SumNs+sb.SumNs {
+		t.Fatalf("merged sum = %d", merged.SumNs)
+	}
+
+	merged.Sub(sb)
+	if merged != sa {
+		t.Fatalf("sub did not invert merge: %+v != %+v", merged, sa)
+	}
+	// Saturating: subtracting more than present clamps at zero.
+	under := sb
+	under.Sub(sa)
+	if under.SumNs != 0 {
+		t.Fatalf("saturating sub: sum = %d", under.SumNs)
+	}
+}
+
+func TestHistConcurrentObserve(t *testing.T) {
+	var h LatencyHist
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := h.Snapshot().Count(); n != 8000 {
+		t.Fatalf("count = %d", n)
+	}
+}

@@ -1,6 +1,11 @@
 package stm
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+
+	"dstm/internal/stats"
+)
 
 // AbortCause classifies why a transaction attempt aborted, feeding the
 // paper's Table I (nested-abort attribution) and the throughput analyses.
@@ -43,6 +48,15 @@ func (c AbortCause) String() string {
 	}
 }
 
+// AbortCauses lists every cause in declaration order, for stable reports.
+func AbortCauses() []AbortCause {
+	out := make([]AbortCause, 0, int(numAbortCauses))
+	for c := AbortCause(0); c < numAbortCauses; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
 // Metrics aggregates one node's transaction outcomes. All fields are
 // updated atomically; read them with Snapshot.
 type Metrics struct {
@@ -55,7 +69,27 @@ type Metrics struct {
 	pushes        atomic.Uint64 // objects handed to parked requesters
 	retrieves     atomic.Uint64 // object fetch RPCs issued
 	leaseExpiries atomic.Uint64 // commit locks force-released by the lease reaper
+
+	// Per-outcome attempt latency: how long one top-level attempt ran
+	// before committing, or before aborting with each cause. The split
+	// shows WHERE time is lost — e.g. queue-timeout aborts each burn a full
+	// backoff, so their latency dwarfs denied aborts.
+	commitLatency stats.LatencyHist
+	abortLatency  [numAbortCauses]stats.LatencyHist
 }
+
+// observeOutcome records one attempt's latency under its outcome.
+func (m *Metrics) observeOutcome(committed bool, cause AbortCause, d time.Duration) {
+	if committed {
+		m.commitLatency.Observe(d)
+		return
+	}
+	m.abortLatency[cause].Observe(d)
+}
+
+// LatencyCommitKey is the Latency map key for committed attempts; aborted
+// attempts are keyed by their AbortCause string.
+const LatencyCommitKey = "commit"
 
 // MetricsSnapshot is a consistent-enough copy of Metrics counters.
 type MetricsSnapshot struct {
@@ -68,6 +102,10 @@ type MetricsSnapshot struct {
 	Pushes        uint64
 	Retrieves     uint64
 	LeaseExpiries uint64
+
+	// Latency maps outcome (LatencyCommitKey or an AbortCause string) to
+	// that outcome's attempt-latency histogram.
+	Latency map[string]stats.HistSnapshot
 }
 
 // Snapshot copies the counters.
@@ -83,8 +121,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Retrieves:     m.retrieves.Load(),
 		LeaseExpiries: m.leaseExpiries.Load(),
 	}
+	s.Latency = make(map[string]stats.HistSnapshot, int(numAbortCauses)+1)
+	s.Latency[LatencyCommitKey] = m.commitLatency.Snapshot()
 	for c := AbortCause(0); c < numAbortCauses; c++ {
 		s.Aborts[c] = m.aborts[c].Load()
+		s.Latency[c.String()] = m.abortLatency[c].Snapshot()
 	}
 	return s
 }
@@ -124,5 +165,40 @@ func (s *MetricsSnapshot) Merge(other MetricsSnapshot) {
 	}
 	for c, v := range other.Aborts {
 		s.Aborts[c] += v
+	}
+	if s.Latency == nil && len(other.Latency) > 0 {
+		s.Latency = make(map[string]stats.HistSnapshot, len(other.Latency))
+	}
+	for k, h := range other.Latency {
+		cur := s.Latency[k]
+		cur.Merge(h)
+		s.Latency[k] = cur
+	}
+}
+
+// Sub removes a baseline snapshot's counters from s (saturation-free for
+// the plain counters — callers subtract a baseline taken earlier on the
+// same nodes, so the counters are monotone; histograms saturate at zero).
+func (s *MetricsSnapshot) Sub(base MetricsSnapshot) {
+	s.Commits -= base.Commits
+	s.NestedCommits -= base.NestedCommits
+	s.NestedOwn -= base.NestedOwn
+	s.NestedParent -= base.NestedParent
+	s.Enqueues -= base.Enqueues
+	s.Pushes -= base.Pushes
+	s.Retrieves -= base.Retrieves
+	s.LeaseExpiries -= base.LeaseExpiries
+	for c, v := range base.Aborts {
+		if s.Aborts != nil {
+			s.Aborts[c] -= v
+		}
+	}
+	for k, h := range base.Latency {
+		if s.Latency == nil {
+			break
+		}
+		cur := s.Latency[k]
+		cur.Sub(h)
+		s.Latency[k] = cur
 	}
 }

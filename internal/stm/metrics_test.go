@@ -1,7 +1,9 @@
 package stm
 
 import (
+	"reflect"
 	"testing"
+	"time"
 )
 
 func TestAbortCauseStrings(t *testing.T) {
@@ -49,6 +51,63 @@ func TestMetricsSnapshotAndMerge(t *testing.T) {
 	sum.Merge(s)
 	if sum.Commits != 6 || sum.Aborts[AbortDenied] != 4 || sum.NestedParent != 12 {
 		t.Fatalf("merged %+v", sum)
+	}
+}
+
+// fullyPopulated returns a snapshot in which every field — including every
+// abort cause and every latency histogram — is non-zero.
+func fullyPopulated() MetricsSnapshot {
+	var m Metrics
+	m.commits.Add(3)
+	m.nestedCommits.Add(5)
+	m.nestedOwn.Add(4)
+	m.nestedParent.Add(6)
+	m.enqueues.Add(7)
+	m.pushes.Add(8)
+	m.retrieves.Add(9)
+	m.leaseExpiries.Add(2)
+	m.observeOutcome(true, 0, 3*time.Millisecond)
+	for c := AbortCause(0); c < numAbortCauses; c++ {
+		m.aborts[c].Add(uint64(c) + 1)
+		m.observeOutcome(false, c, time.Duration(c+1)*time.Millisecond)
+	}
+	return m.Snapshot()
+}
+
+// TestMergePreservesEveryField is a reflection guard: if a counter is ever
+// added to MetricsSnapshot but forgotten in Merge (or Sub), this test fails
+// without needing to know the field's name.
+func TestMergePreservesEveryField(t *testing.T) {
+	a := fullyPopulated()
+
+	// The guard only works if the populated snapshot really has no zero
+	// field — a newly added field shows up here first.
+	v := reflect.ValueOf(a)
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).IsZero() {
+			t.Fatalf("field %s of the populated snapshot is zero — teach fullyPopulated about it",
+				v.Type().Field(i).Name)
+		}
+	}
+	for k, h := range a.Latency {
+		if h.Count() == 0 {
+			t.Fatalf("latency histogram %q is empty in the populated snapshot", k)
+		}
+	}
+
+	// Merge into a zero snapshot must reproduce a exactly: any field Merge
+	// forgets stays zero and breaks the comparison.
+	var b MetricsSnapshot
+	b.Merge(a)
+	if !reflect.DeepEqual(b, a) {
+		t.Fatalf("merge into zero lost fields:\n got %+v\nwant %+v", b, a)
+	}
+
+	// Doubling then subtracting must round-trip (guards Sub the same way).
+	b.Merge(a)
+	b.Sub(a)
+	if !reflect.DeepEqual(b, a) {
+		t.Fatalf("merge+sub did not round-trip:\n got %+v\nwant %+v", b, a)
 	}
 }
 

@@ -1,0 +1,102 @@
+package stm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+	"time"
+
+	"dstm/internal/object"
+	"dstm/internal/sched"
+	"dstm/internal/transport"
+)
+
+// fuzzVal is a registered object.Value so protocol payloads carrying
+// interface-typed values can travel through gob in this test.
+type fuzzVal struct{ X int64 }
+
+func (v fuzzVal) Copy() object.Value { return v }
+
+func init() { object.Register(fuzzVal{}) }
+
+// roundTrip gob-encodes a message carrying payload and returns the decoded
+// payload, failing the test on any codec error.
+func roundTrip(t *testing.T, payload any) any {
+	t.Helper()
+	in := transport.Message{From: 1, To: 2, Kind: KindRetrieve, Payload: payload}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+		t.Fatalf("encode %T: %v", payload, err)
+	}
+	var out transport.Message
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("decode %T: %v", payload, err)
+	}
+	return out.Payload
+}
+
+// FuzzRetrieveRoundTrip round-trips the retrieve request/response pair —
+// the protocol's hottest messages — through the gob wire format. Every
+// field must survive: a corrupted Elapsed or Backoff would silently skew
+// the RTS scheduling decision at the owner.
+func FuzzRetrieveRoundTrip(f *testing.F) {
+	f.Add("obj/a", uint64(1), uint8(1), 3, int64(5e6), int64(2e6), uint8(2), int64(7e6), uint64(9), int32(1), int64(11))
+	f.Add("", uint64(0), uint8(0), -1, int64(-1), int64(0), uint8(3), int64(1)<<62, ^uint64(0), int32(-2), int64(0))
+	f.Fuzz(func(t *testing.T, oid string, tx uint64, mode uint8, myCL int,
+		elapsed, remain int64, status uint8, backoff int64, ownClock uint64, vnode int32, val int64) {
+		req := retrieveReq{
+			Oid: object.ID(oid), TxID: tx, Mode: sched.Mode(mode), MyCL: myCL,
+			Elapsed: time.Duration(elapsed), Remain: time.Duration(remain),
+		}
+		if got := roundTrip(t, req).(retrieveReq); got != req {
+			t.Fatalf("retrieveReq changed: %+v -> %+v", req, got)
+		}
+		resp := retrieveResp{
+			Status: retrieveStatus(status), Value: fuzzVal{X: val},
+			Version:  object.Version{Clock: ownClock, Node: vnode},
+			RemoteCL: myCL, Backoff: time.Duration(backoff), OwnerClock: ownClock,
+		}
+		if got := roundTrip(t, resp).(retrieveResp); got != resp {
+			t.Fatalf("retrieveResp changed: %+v -> %+v", resp, got)
+		}
+	})
+}
+
+// FuzzCommitPushRoundTrip round-trips the ownership-migration pair: the
+// commit request that moves an object (and, in its reply, the requester
+// queue) and the push that hands it to a parked transaction.
+func FuzzCommitPushRoundTrip(f *testing.F) {
+	f.Add("obj/x", uint64(3), uint64(17), int32(2), int64(-4), uint64(23), int32(0), uint8(1), int64(6e6), int64(8e6))
+	f.Add("", uint64(0), uint64(0), int32(-1), int64(0), ^uint64(0), int32(5), uint8(0), int64(0), int64(-1))
+	f.Fuzz(func(t *testing.T, oid string, tx, verClock uint64, newOwner int32, val int64,
+		pushClock uint64, qnode int32, qmode uint8, qElapsed, qRemain int64) {
+		commit := commitObjReq{
+			Oid: object.ID(oid), TxID: tx,
+			NewVer:   object.Version{Clock: verClock, Node: newOwner},
+			NewValue: fuzzVal{X: val}, NewOwner: transport.NodeID(newOwner),
+		}
+		if got := roundTrip(t, commit).(commitObjReq); got != commit {
+			t.Fatalf("commitObjReq changed: %+v -> %+v", commit, got)
+		}
+
+		qreq := sched.Request{
+			Oid: object.ID(oid), TxID: tx, Node: transport.NodeID(qnode),
+			Mode: sched.Mode(qmode), MyCL: int(qnode),
+			Elapsed: time.Duration(qElapsed), ExpectedRemaining: time.Duration(qRemain),
+		}
+		cr := commitObjResp{Queue: []sched.Request{qreq}}
+		gotCR := roundTrip(t, cr).(commitObjResp)
+		if len(gotCR.Queue) != 1 || gotCR.Queue[0] != qreq {
+			t.Fatalf("commitObjResp queue changed: %+v -> %+v", cr, gotCR)
+		}
+
+		push := pushMsg{
+			Oid: object.ID(oid), TxID: tx, Value: fuzzVal{X: val},
+			Version: object.Version{Clock: verClock, Node: newOwner},
+			Owner:   transport.NodeID(newOwner), OwnerClock: pushClock, RemoteCL: int(qnode),
+		}
+		if got := roundTrip(t, push).(pushMsg); got != push {
+			t.Fatalf("pushMsg changed: %+v -> %+v", push, got)
+		}
+	})
+}

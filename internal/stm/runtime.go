@@ -11,6 +11,7 @@ import (
 	"dstm/internal/object"
 	"dstm/internal/sched"
 	"dstm/internal/stats"
+	"dstm/internal/trace"
 	"dstm/internal/transport"
 	"dstm/internal/vclock"
 )
@@ -44,6 +45,7 @@ type Runtime struct {
 	migrated map[object.ID]uint64
 
 	nesting NestingMode
+	tracer  *trace.Recorder
 }
 
 type waitKey struct {
@@ -111,6 +113,48 @@ func (rt *Runtime) SetNesting(m NestingMode) { rt.nesting = m }
 
 // Nesting returns the runtime's nesting mode.
 func (rt *Runtime) Nesting() NestingMode { return rt.nesting }
+
+// SetTracer wires a protocol event recorder through every layer this
+// runtime owns: transaction lifecycle (this package), the owner-side
+// commit-lock state machine (the store's trace hook), the scheduler queue
+// (policies exposing SetTracer), and the messaging layer (the endpoint).
+// Call once, after NewRuntime and before any transactions run; nil
+// disables. A nil recorder costs one pointer check per event site.
+func (rt *Runtime) SetTracer(tr *trace.Recorder) {
+	rt.tracer = tr
+	rt.ep.SetTracer(tr)
+	if p, ok := rt.policy.(interface{ SetTracer(*trace.Recorder) }); ok {
+		p.SetTracer(tr)
+	}
+	if tr == nil {
+		rt.store.SetTrace(nil)
+		return
+	}
+	// The store already narrates its lock transitions through a debug hook
+	// (emitted under the store mutex, so transitions are totally ordered per
+	// object); adapt the ops the checker models onto trace events.
+	rt.store.SetTrace(func(op string, id object.ID, tx uint64) {
+		switch op {
+		case "lock-ok":
+			tr.Emit(trace.Event{Type: trace.EvLockAcquire, Tx: tx, Oid: id})
+		case "install-locked":
+			tr.Emit(trace.Event{Type: trace.EvLockAcquire, Tx: tx, Oid: id, Detail: "create"})
+		case "unlock":
+			tr.Emit(trace.Event{Type: trace.EvLockRelease, Tx: tx, Oid: id, Detail: "unlock"})
+		case "commit":
+			tr.Emit(trace.Event{Type: trace.EvLockRelease, Tx: tx, Oid: id, Detail: "commit"})
+		case "remove":
+			tr.Emit(trace.Event{Type: trace.EvLockRelease, Tx: tx, Oid: id, Detail: "migrate"})
+		case "lock-expired":
+			tr.Emit(trace.Event{Type: trace.EvLeaseExpire, Tx: tx, Oid: id})
+		case "install":
+			tr.Emit(trace.Event{Type: trace.EvInstall, Oid: id})
+		}
+	})
+}
+
+// Tracer returns the runtime's event recorder (nil when tracing is off).
+func (rt *Runtime) Tracer() *trace.Recorder { return rt.tracer }
 
 // Metrics returns the node's transaction outcome counters.
 func (rt *Runtime) Metrics() *Metrics { return rt.metrics }

@@ -10,6 +10,7 @@ import (
 	"dstm/internal/cc"
 	"dstm/internal/object"
 	"dstm/internal/sched"
+	"dstm/internal/trace"
 )
 
 // abortError unwinds an aborting transaction to the level that must retry.
@@ -76,6 +77,7 @@ func (rt *Runtime) Atomic(ctx context.Context, name string, fn func(tx *Txn) err
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		attemptBegan := time.Now()
 		tx := &Txn{
 			rt:   rt,
 			id:   id,
@@ -90,6 +92,7 @@ func (rt *Runtime) Atomic(ctx context.Context, name string, fn func(tx *Txn) err
 			entries:  make(map[object.ID]*objEntry),
 		}
 		tx.root = tx
+		rt.tracer.Emit(trace.Event{Type: trace.EvTxBegin, Tx: id, A: uint64(attempt)})
 
 		err := fn(tx)
 		if err == nil {
@@ -97,6 +100,8 @@ func (rt *Runtime) Atomic(ctx context.Context, name string, fn func(tx *Txn) err
 		}
 		if err == nil {
 			rt.metrics.commits.Add(1)
+			rt.metrics.observeOutcome(true, 0, time.Since(attemptBegan))
+			rt.tracer.Emit(trace.Event{Type: trace.EvTxCommit, Tx: id})
 			rt.feedback(true)
 			return nil
 		}
@@ -108,6 +113,8 @@ func (rt *Runtime) Atomic(ctx context.Context, name string, fn func(tx *Txn) err
 			return err
 		}
 		rt.metrics.aborts[ae.cause].Add(1)
+		rt.metrics.observeOutcome(false, ae.cause, time.Since(attemptBegan))
+		rt.tracer.Emit(trace.Event{Type: trace.EvTxAbort, Tx: id, Detail: ae.cause.String()})
 		// Every inner transaction that had committed into this root is
 		// rolled back with it (Table I's "aborts due to parent abort").
 		rt.metrics.nestedParent.Add(uint64(tx.mergedChildren))
@@ -152,6 +159,7 @@ func (tx *Txn) Atomic(ctx context.Context, name string, fn func(child *Txn) erro
 			root:    tx.root,
 			entries: make(map[object.ID]*objEntry),
 		}
+		rt.tracer.Emit(trace.Event{Type: trace.EvNestBegin, Tx: tx.id, A: uint64(attempt)})
 		err := fn(child)
 		if err == nil {
 			// Early validation (N-TFA): an inner commit validates the
@@ -163,6 +171,7 @@ func (tx *Txn) Atomic(ctx context.Context, name string, fn func(child *Txn) erro
 		if err == nil {
 			child.mergeIntoParent()
 			rt.metrics.nestedCommits.Add(1)
+			rt.tracer.Emit(trace.Event{Type: trace.EvNestMerge, Tx: tx.id})
 			return nil
 		}
 
@@ -175,6 +184,7 @@ func (tx *Txn) Atomic(ctx context.Context, name string, fn func(child *Txn) erro
 			// committed children are rolled back with it.
 			rt.metrics.nestedOwn.Add(1)
 			rt.metrics.nestedParent.Add(uint64(child.mergedChildren))
+			rt.tracer.Emit(trace.Event{Type: trace.EvNestAbort, Tx: tx.id, Detail: "own"})
 			if d := rt.policy.RetryDelay(attempt, name); d > 0 {
 				if !sleepCtx(ctx, d) {
 					return ctx.Err()
@@ -184,6 +194,7 @@ func (tx *Txn) Atomic(ctx context.Context, name string, fn func(child *Txn) erro
 		}
 		// An enclosing transaction aborts: this running child dies with it.
 		rt.metrics.nestedParent.Add(uint64(1 + child.mergedChildren))
+		rt.tracer.Emit(trace.Event{Type: trace.EvNestAbort, Tx: tx.id, Detail: "parent"})
 		return err
 	}
 }
@@ -306,6 +317,7 @@ func (tx *Txn) fetch(ctx context.Context, oid object.ID, mode sched.Mode) (*objE
 	rt := tx.rt
 	root := tx.root
 	rt.metrics.retrieves.Add(1)
+	rt.tracer.Emit(trace.Event{Type: trace.EvRetrieve, Tx: tx.id, Oid: oid, Detail: mode.String()})
 
 	for hop := 0; hop < maxOwnerHops; hop++ {
 		owner, err := rt.locator.Locate(ctx, oid)
@@ -369,21 +381,28 @@ func (tx *Txn) fetch(ctx context.Context, oid object.ID, mode sched.Mode) (*objE
 				rt.deregisterWaiter(tx.id, oid)
 				return nil, &abortError{target: root, cause: AbortDenied}
 			}
+			// Park events are emitted here, at consumption, so they are
+			// strictly ordered within the transaction's goroutine (a push
+			// can never appear to resolve a park that has not begun).
+			rt.tracer.Emit(trace.Event{Type: trace.EvPark, Tx: tx.id, Oid: oid, A: uint64(resp.Backoff)})
 			timer := time.NewTimer(resp.Backoff)
 			select {
 			case msg := <-ch:
 				timer.Stop()
 				rt.deregisterWaiter(tx.id, oid)
+				rt.tracer.Emit(trace.Event{Type: trace.EvPushRecv, Tx: tx.id, Oid: oid})
 				rt.locator.NoteOwner(oid, msg.Owner)
 				return tx.adoptFetched(ctx, oid, msg.Value, msg.Version, msg.RemoteCL, msg.OwnerClock, msg.Owner)
 			case <-timer.C:
 				// Backoff expired before the object arrived: the parent
 				// aborts, losing its committed children (paper §IV-B).
 				rt.deregisterWaiter(tx.id, oid)
+				rt.tracer.Emit(trace.Event{Type: trace.EvParkTimeout, Tx: tx.id, Oid: oid})
 				return nil, &abortError{target: root, cause: AbortQueueTimeout}
 			case <-ctx.Done():
 				timer.Stop()
 				rt.deregisterWaiter(tx.id, oid)
+				rt.tracer.Emit(trace.Event{Type: trace.EvParkCancel, Tx: tx.id, Oid: oid})
 				return nil, ctx.Err()
 			}
 
@@ -402,6 +421,7 @@ func (tx *Txn) adoptFetched(ctx context.Context, oid object.ID, val object.Value
 	if err := tx.forward(ctx, ownerClock); err != nil {
 		return nil, err
 	}
+	tx.rt.tracer.Emit(trace.Event{Type: trace.EvRetrieveOK, Tx: tx.id, Oid: oid, A: ver.Clock})
 	e := &objEntry{val: val, ver: ver}
 	tx.entries[oid] = e
 	tx.clSum += remoteCL
@@ -420,6 +440,7 @@ func (tx *Txn) forward(ctx context.Context, ownerClock uint64) error {
 	if err := tx.validateChain(ctx); err != nil {
 		return err
 	}
+	tx.rt.tracer.Emit(trace.Event{Type: trace.EvForward, Tx: tx.id, A: root.start, B: ownerClock})
 	root.start = ownerClock
 	return nil
 }

@@ -13,6 +13,8 @@ import (
 	"dstm/internal/cluster"
 	"dstm/internal/sched"
 	"dstm/internal/stm"
+	"dstm/internal/trace"
+	"dstm/internal/trace/check"
 	"dstm/internal/transport"
 	"dstm/internal/vclock"
 )
@@ -46,6 +48,14 @@ type ChaosOptions struct {
 
 	// MkPolicy builds each node's scheduler; nil means plain TFA.
 	MkPolicy func() sched.Policy
+
+	// Trace enables protocol event tracing on every node; after the run the
+	// merged log is replayed through the trace/check oracle and the verdict
+	// lands in ChaosReport.ProtocolErr. TraceCap sets each node's ring
+	// capacity (0 = trace.DefaultCapacity); a wrapped ring downgrades the
+	// check to the truncated-trace invariants.
+	Trace    bool
+	TraceCap int
 
 	// Workload shape.
 	Workers   int           // concurrent workers per node; 0 means 4
@@ -99,7 +109,9 @@ type ChaosCluster struct {
 	Faults *transport.FaultModel
 	Rts    []*stm.Runtime
 
-	opts ChaosOptions
+	opts        ChaosOptions
+	recorders   []*trace.Recorder
+	reaperStops []func()
 }
 
 // NewChaosCluster builds the cluster. Faults are created but not installed,
@@ -127,11 +139,18 @@ func NewChaosCluster(t testing.TB, opts ChaosOptions) *ChaosCluster {
 		}),
 	}
 	for i := 0; i < opts.Nodes; i++ {
-		ep := cluster.NewEndpoint(net.Endpoint(transport.NodeID(i)), &vclock.Clock{})
+		clk := &vclock.Clock{}
+		ep := cluster.NewEndpoint(net.Endpoint(transport.NodeID(i)), clk)
 		ep.SetRetryPolicy(opts.Retry)
 		rt := stm.NewRuntime(ep, opts.Nodes, mkPolicy(), nil)
+		if opts.Trace {
+			rec := trace.NewRecorder(transport.NodeID(i), opts.TraceCap, clk.Now)
+			rt.SetTracer(rec)
+			cc.recorders = append(cc.recorders, rec)
+		}
 		stop := rt.StartLeaseExpiry(opts.LockLease)
 		t.Cleanup(stop)
+		cc.reaperStops = append(cc.reaperStops, stop)
 		cc.Rts = append(cc.Rts, rt)
 	}
 	return cc
@@ -155,6 +174,13 @@ type ChaosReport struct {
 	Metrics stm.MetricsSnapshot  // cluster-wide transaction counters
 	Faults  transport.FaultStats // messages dropped/duplicated/reordered
 	Crashes int                  // crash/restart cycles executed
+
+	// Protocol trace verdict (ChaosOptions.Trace only). ProtocolErr is the
+	// trace checker's verdict over the merged event log; TraceDropped > 0
+	// means some ring wrapped and the check ran truncated.
+	ProtocolErr  error
+	TraceEvents  int
+	TraceDropped uint64
 }
 
 // Run drives bench on the faulty cluster: Setup over a clean network,
@@ -246,6 +272,28 @@ func (c *ChaosCluster) Run(ctx context.Context, bench apps.Benchmark) (ChaosRepo
 	defer checkCancel()
 	if err := bench.Check(checkCtx, c.Rts[0]); err != nil {
 		return rep, fmt.Errorf("chaos: invariant check: %w", err)
+	}
+
+	if c.opts.Trace {
+		// Quiesce before collecting so no goroutine is mid-way through
+		// emitting a hand-off group: stop the lease reapers, shut the
+		// network (drains per-link delivery goroutines), and give spawned
+		// handler goroutines a beat to finish. The cluster is terminal
+		// after this — Run with Trace is a run-once affair.
+		for _, stop := range c.reaperStops {
+			stop()
+		}
+		c.Net.Close()
+		time.Sleep(25 * time.Millisecond)
+
+		logs := make([][]trace.Event, len(c.recorders))
+		for i, rec := range c.recorders {
+			logs[i] = rec.Events()
+			rep.TraceDropped += rec.Dropped()
+		}
+		merged := trace.Merge(logs...)
+		rep.TraceEvents = len(merged)
+		rep.ProtocolErr = check.Run(merged, check.Options{Truncated: rep.TraceDropped > 0}).Err()
 	}
 	return rep, nil
 }

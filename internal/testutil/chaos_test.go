@@ -105,6 +105,39 @@ func TestChaosBankRTSScheduler(t *testing.T) {
 	requireChaosHappened(t, rep)
 }
 
+// TestChaosTraceProtocolCheck replays the merged event trace of a full
+// chaos run — 15% loss, duplication, reordering, AND crash/restart cycles —
+// through the trace/check protocol oracle. Crashes take nodes off the
+// network but their recorders keep running, so the merged log is complete
+// and the stateful invariants (lock exclusion, hand-off head rule, park
+// closure, lease-expiry safety) must all hold.
+func TestChaosTraceProtocolCheck(t *testing.T) {
+	opts := chaosOpts()
+	opts.Seed = 47
+	opts.Trace = true
+	opts.TraceCap = 1 << 19
+	opts.MkPolicy = func() sched.Policy { return core.New(core.Options{CLThreshold: 3}) }
+	// A lease short enough to actually fire while a committer is crashed,
+	// so the trace exercises the lease-expiry invariant too.
+	opts.LockLease = 400 * time.Millisecond
+	cc := NewChaosCluster(t, opts)
+	rep, err := cc.Run(context.Background(), bank.New(bank.Options{AccountsPerNode: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireChaosHappened(t, rep)
+	if rep.TraceEvents == 0 {
+		t.Fatal("tracing enabled but no events recorded")
+	}
+	if rep.TraceDropped != 0 {
+		t.Fatalf("ring wrapped (%d dropped) — raise TraceCap so the full check runs", rep.TraceDropped)
+	}
+	if rep.ProtocolErr != nil {
+		t.Fatalf("protocol check failed over %d events:\n%v", rep.TraceEvents, rep.ProtocolErr)
+	}
+	t.Logf("protocol check ok over %d events (lease-expiries=%d)", rep.TraceEvents, rep.Metrics.LeaseExpiries)
+}
+
 // TestChaosSoakBankHeavyLoss is the soak: 20% drop with aggressive crash
 // cycling for several seconds, on a latency-bearing network. Skipped in
 // -short mode.

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"unicode/utf8"
+
+	"dstm/internal/object"
+	"dstm/internal/transport"
+)
+
+// FuzzReadJSONL feeds arbitrary bytes to the JSONL decoder: it must never
+// panic, and everything it accepts must survive a write/read round trip.
+func FuzzReadJSONL(f *testing.F) {
+	f.Add([]byte(`{"node":1,"seq":2,"clock":3,"type":"tx-begin","tx":4}`))
+	f.Add([]byte("{\"type\":\"enqueue\",\"oid\":\"obj/a\",\"detail\":\"write\",\"a\":2}\n{\"type\":\"handoff\"}"))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"type":`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, evs); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		again, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of own output failed: %v", err)
+		}
+		if len(again) != len(evs) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(evs), len(again))
+		}
+	})
+}
+
+// FuzzEventRoundTrip builds events from fuzzed fields and checks the JSONL
+// codec preserves every field exactly.
+func FuzzEventRoundTrip(f *testing.F) {
+	f.Add(int32(0), uint64(1), uint64(2), int64(3), "tx-begin", uint64(4), "obj/a", "denied", int32(5), uint64(6), uint64(7), uint64(8))
+	f.Add(int32(-1), uint64(0), uint64(0), int64(-50), "handoff", uint64(1)<<63, "", "write", int32(9), uint64(0), uint64(0), uint64(0))
+	f.Add(int32(7), ^uint64(0), uint64(42), int64(0), "päck\n", uint64(3), "obj/\"quoted\"", "a\tb", int32(0), uint64(1), ^uint64(0), uint64(2))
+	f.Fuzz(func(t *testing.T, node int32, seq, clock uint64, wall int64,
+		typ string, tx uint64, oid, detail string, peer int32, corr, a, b uint64) {
+		// encoding/json replaces invalid UTF-8 with U+FFFD, so only valid
+		// strings can round-trip byte-exactly.
+		if !utf8.ValidString(typ) || !utf8.ValidString(oid) || !utf8.ValidString(detail) {
+			t.Skip("invalid UTF-8 cannot round-trip through JSON")
+		}
+		in := Event{
+			Node: transport.NodeID(node), Seq: seq, Clock: clock, Wall: wall,
+			Type: EventType(typ), Tx: tx, Oid: object.ID(oid), Detail: detail,
+			Peer: transport.NodeID(peer), Corr: corr, A: a, B: b,
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, []Event{in}); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		out, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		if len(out) != 1 || out[0] != in {
+			t.Fatalf("round trip: %+v -> %+v", in, out)
+		}
+	})
+}

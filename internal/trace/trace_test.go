@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderIsDisabled(t *testing.T) {
+	var r *Recorder
+	r.Emit(Event{Type: EvTxBegin}) // must not panic
+	if r.Enabled() {
+		t.Fatal("nil recorder claims enabled")
+	}
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder holds events")
+	}
+}
+
+func TestRecorderStampsAndOrders(t *testing.T) {
+	clock := uint64(7)
+	r := NewRecorder(3, 16, func() uint64 { return clock })
+	r.Emit(Event{Type: EvTxBegin, Tx: 1})
+	clock = 9
+	r.Emit(Event{Type: EvTxCommit, Tx: 1})
+
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].Node != 3 || evs[0].Seq != 0 || evs[0].Clock != 7 {
+		t.Fatalf("first event stamps: %+v", evs[0])
+	}
+	if evs[1].Seq != 1 || evs[1].Clock != 9 {
+		t.Fatalf("second event stamps: %+v", evs[1])
+	}
+	if evs[0].Wall == 0 {
+		t.Fatal("wall clock not stamped")
+	}
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(0, 4, nil)
+	for i := uint64(0); i < 10; i++ {
+		r.Emit(Event{Type: EvTxBegin, Tx: i})
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Tx != uint64(6+i) {
+			t.Fatalf("event %d is tx %d, want oldest-first 6..9", i, e.Tx)
+		}
+		if e.Seq != uint64(6+i) {
+			t.Fatalf("event %d seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestRecorderConcurrentEmit(t *testing.T) {
+	r := NewRecorder(1, 1<<12, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(Event{Type: EvMsgSend, Tx: uint64(g)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := r.Events()
+	if len(evs) != 800 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	seen := make(map[uint64]bool, len(evs))
+	for _, e := range evs {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestMergeRespectsClockThenNodeOrder(t *testing.T) {
+	a := []Event{
+		{Node: 0, Seq: 0, Clock: 1, Type: EvTxBegin},
+		{Node: 0, Seq: 1, Clock: 5, Type: EvTxCommit},
+	}
+	b := []Event{
+		{Node: 1, Seq: 0, Clock: 2, Type: EvTxBegin},
+		{Node: 1, Seq: 1, Clock: 5, Type: EvTxCommit},
+	}
+	m := Merge(a, b)
+	if len(m) != 4 {
+		t.Fatalf("len = %d", len(m))
+	}
+	if m[0].Clock != 1 || m[1].Clock != 2 {
+		t.Fatalf("clock order broken: %+v", m[:2])
+	}
+	// Clock tie: node 0 sorts first.
+	if m[2].Node != 0 || m[3].Node != 1 {
+		t.Fatalf("tie-break order broken: %+v", m[2:])
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Event{
+		{Node: 1, Seq: 0, Clock: 3, Wall: 12345, Type: EvLockAcquire, Tx: 42, Oid: "obj/a"},
+		{Node: 2, Seq: 9, Clock: 4, Type: EvEnqueue, Tx: 7, Oid: "obj/b", Detail: "write", A: 2, B: 1500},
+		{Node: 0, Seq: 1, Type: EvMsgSend, Peer: 2, Corr: 77, Detail: "reply"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("event %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestReadJSONLRejectsMalformed(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"type\":\"tx-begin\"}\nnot-json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadJSONLSkipsBlankLines(t *testing.T) {
+	out, err := ReadJSONL(strings.NewReader("\n{\"type\":\"tx-begin\",\"tx\":1}\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Tx != 1 {
+		t.Fatalf("out = %+v", out)
+	}
+}

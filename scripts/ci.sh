@@ -1,17 +1,51 @@
 #!/bin/sh
-# Tier-1 verification: build, test, and race-test the whole module.
+# Tier-1 verification: vet, build, test, race-test, a short fuzz pass, and
+# a coverage soft floor on the core protocol packages.
 # Mirrors `make verify`; kept as a script for CI systems without make.
+#
+# Environment knobs:
+#   CI_FUZZTIME    per-target fuzz budget (default 3s; "0" skips fuzzing)
+#   CI_COV_FLOOR   minimum combined coverage % for internal/stm +
+#                  internal/core (default 70). A shortfall warns by
+#                  default; set CI_COV_STRICT=1 to make it fail the run.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+CI_FUZZTIME="${CI_FUZZTIME:-3s}"
+CI_COV_FLOOR="${CI_COV_FLOOR:-70}"
+CI_COV_STRICT="${CI_COV_STRICT:-0}"
+
+echo "== go vet ./..."
+go vet ./...
+
 echo "== go build ./..."
 go build ./...
 
-echo "== go test ./..."
-go test ./...
+echo "== go test ./... (with coverage on internal/stm + internal/core)"
+go test -coverprofile=coverage.out -coverpkg=dstm/internal/stm,dstm/internal/core ./...
+
+cov=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo "== coverage (internal/stm + internal/core): ${cov}% (floor ${CI_COV_FLOOR}%)"
+if [ "$(awk -v c="$cov" -v f="$CI_COV_FLOOR" 'BEGIN {print (c < f)}')" = 1 ]; then
+    if [ "$CI_COV_STRICT" = 1 ]; then
+        echo "coverage ${cov}% is below the ${CI_COV_FLOOR}% floor" >&2
+        exit 1
+    fi
+    echo "WARNING: coverage ${cov}% is below the ${CI_COV_FLOOR}% soft floor" >&2
+fi
 
 echo "== go test -race ./..."
 go test -race ./...
+
+if [ "$CI_FUZZTIME" != 0 ]; then
+    echo "== fuzz targets (${CI_FUZZTIME} each)"
+    go test ./internal/trace/ -fuzz FuzzReadJSONL -fuzztime "$CI_FUZZTIME"
+    go test ./internal/trace/ -fuzz FuzzEventRoundTrip -fuzztime "$CI_FUZZTIME"
+    go test ./internal/transport/ -fuzz FuzzMessageGobRoundTrip -fuzztime "$CI_FUZZTIME"
+    go test ./internal/transport/ -fuzz FuzzMessageGobDecode -fuzztime "$CI_FUZZTIME"
+    go test ./internal/stm/ -fuzz FuzzRetrieveRoundTrip -fuzztime "$CI_FUZZTIME"
+    go test ./internal/stm/ -fuzz FuzzCommitPushRoundTrip -fuzztime "$CI_FUZZTIME"
+fi
 
 echo "CI OK"
