@@ -36,14 +36,21 @@ fuzz:
 	$(GO) test ./internal/transport/ -fuzz FuzzMessageGobDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stm/ -fuzz FuzzRetrieveRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stm/ -fuzz FuzzCommitPushRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stm/ -fuzz FuzzAcquireCheckBatchRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stm/ -fuzz FuzzCommitObjBatchRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cc/ -fuzz FuzzDirectoryBatchRoundTrip -fuzztime $(FUZZTIME)
 
 # verify is the tier-1 gate: vet, build, plain tests with the coverage
 # floor, then the full suite under the race detector (chaos/soak tests
 # included), then a short fuzz pass.
 verify: vet build cover race fuzz
 
+# bench runs the Go micro-benchmarks, then the commit-pipeline benchmark,
+# which writes machine-readable throughput / msgs-per-commit / latency-tail
+# rows per scheduler to results/BENCH_commit.json.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+	$(GO) run ./cmd/rtsbench -benchjson results/BENCH_commit.json -duration 150ms -nodes 4 -bench bank,dht
 
 clean:
 	$(GO) clean ./...

@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ import (
 
 	"dstm/internal/cluster"
 	"dstm/internal/harness"
+	"dstm/internal/stm"
 )
 
 func main() {
@@ -50,6 +52,7 @@ func main() {
 		traceCap   = flag.Int("tracecap", 0, "per-node trace ring capacity (0 = default)")
 		scheduler  = flag.String("scheduler", "RTS", "scheduler for -experiment cell (RTS | TFA | TFA+Backoff)")
 		readRatio  = flag.Float64("readratio", 0.9, "read fraction for -experiment cell")
+		benchJSON  = flag.String("benchjson", "", "run the commit-pipeline benchmark and write its JSON report (throughput, msgs/commit, commit-latency p50/p99 per scheduler) to this file, then exit")
 	)
 	flag.Parse()
 
@@ -83,6 +86,14 @@ func main() {
 	}
 	benches := parseBenches(*benchList)
 	ctx := context.Background()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(ctx, base, benches, *readRatio, *benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "rtsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var err error
 	switch *experiment {
@@ -137,6 +148,96 @@ func runCell(ctx context.Context, base harness.Config, benches []harness.Benchma
 			return fmt.Errorf("%s protocol trace: %w", b, res.ProtocolErr)
 		}
 	}
+	return nil
+}
+
+// benchJSONRow is one (scheduler, benchmark) cell of the commit-pipeline
+// benchmark report.
+type benchJSONRow struct {
+	Scheduler       string  `json:"scheduler"`
+	Benchmark       string  `json:"benchmark"`
+	Commits         uint64  `json:"commits"`
+	Aborts          uint64  `json:"aborts"`
+	ThroughputTPS   float64 `json:"throughput_tps"`
+	CommitMsgs      uint64  `json:"commit_msgs"`
+	CommitRounds    uint64  `json:"commit_rounds"`
+	MsgsPerCommit   float64 `json:"msgs_per_commit"`
+	RoundsPerCommit float64 `json:"rounds_per_commit"`
+	CommitP50Ns     int64   `json:"commit_latency_p50_ns"`
+	CommitP99Ns     int64   `json:"commit_latency_p99_ns"`
+}
+
+// benchJSONDoc is the whole BENCH_commit.json document.
+type benchJSONDoc struct {
+	Experiment     string         `json:"experiment"`
+	Nodes          int            `json:"nodes"`
+	WorkersPerNode int            `json:"workers_per_node"`
+	ObjectsPerNode int            `json:"objects_per_node"`
+	DurationMs     int64          `json:"duration_ms"`
+	ReadRatio      float64        `json:"read_ratio"`
+	Seed           int64          `json:"seed"`
+	Rows           []benchJSONRow `json:"rows"`
+}
+
+// runBenchJSON measures the owner-grouped commit pipeline: for every
+// scheduler and benchmark it runs one cell and reports throughput, the
+// msgs/commit and rounds/commit of the batch pipeline, and the commit
+// latency tail, as machine-readable JSON (results/BENCH_commit.json under
+// `make bench`).
+func runBenchJSON(ctx context.Context, base harness.Config, benches []harness.BenchmarkKind,
+	readRatio float64, path string) error {
+	doc := benchJSONDoc{Experiment: "commit-pipeline", ReadRatio: readRatio, Seed: base.Seed}
+	for _, sc := range harness.Schedulers {
+		for _, b := range benches {
+			cfg := base
+			cfg.Benchmark = b
+			cfg.Scheduler = sc
+			cfg.ReadRatio = readRatio
+			res, err := harness.Run(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			if res.CheckErr != nil {
+				return fmt.Errorf("%s invariant: %w", b, res.CheckErr)
+			}
+			m := res.Metrics
+			lat := m.Latency[stm.LatencyCommitKey]
+			doc.Rows = append(doc.Rows, benchJSONRow{
+				Scheduler:       string(sc),
+				Benchmark:       string(b),
+				Commits:         m.Commits,
+				Aborts:          m.TotalAborts(),
+				ThroughputTPS:   res.Throughput(),
+				CommitMsgs:      m.CommitMsgs,
+				CommitRounds:    m.CommitRounds,
+				MsgsPerCommit:   m.MsgsPerCommit(),
+				RoundsPerCommit: m.RoundsPerCommit(),
+				CommitP50Ns:     int64(lat.Quantile(0.50)),
+				CommitP99Ns:     int64(lat.Quantile(0.99)),
+			})
+			// The resolved defaults are identical across cells; record once.
+			doc.Nodes = res.Config.Nodes
+			doc.WorkersPerNode = res.Config.WorkersPerNode
+			doc.ObjectsPerNode = res.Config.ObjectsPerNode
+			doc.DurationMs = res.Config.Duration.Milliseconds()
+			fmt.Printf("%-12s %-10s %8.1f tx/s   msgs/commit %5.1f   p99 %v\n",
+				sc, b, res.Throughput(), m.MsgsPerCommit(), lat.Quantile(0.99))
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(doc)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("bench json: %w", werr)
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

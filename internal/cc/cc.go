@@ -31,6 +31,11 @@ const (
 	KindLookup   transport.Kind = 1
 	KindRegister transport.Kind = 2
 	KindUpdate   transport.Kind = 3
+	// Batch variants: one message carries every object of a commit that is
+	// homed at the same directory node (owner-grouped commit pipeline).
+	KindLookupBatch   transport.Kind = 4
+	KindRegisterBatch transport.Kind = 5
+	KindUpdateBatch   transport.Kind = 6
 )
 
 // lookupReq asks a home node for the owner of an object.
@@ -58,11 +63,43 @@ type updateReq struct {
 	Owner transport.NodeID
 }
 
+// lookupBatchReq asks a home node for the owners of several objects.
+type lookupBatchReq struct{ Oids []object.ID }
+
+// lookupBatchResp carries per-object results, parallel to the request.
+type lookupBatchResp struct{ Results []lookupResp }
+
+// registerBatchReq registers several newly created objects, all homed at
+// the receiving node and all owned by Owner. Tx tags the creating
+// transaction for idempotent re-registration (see registerReq).
+type registerBatchReq struct {
+	Oids  []object.ID
+	Owner transport.NodeID
+	Tx    uint64
+}
+
+// updateBatchReq moves ownership of several objects homed at the receiver
+// to Owner (commit-time migration).
+type updateBatchReq struct {
+	Oids  []object.ID
+	Owner transport.NodeID
+}
+
+// batchErrResp carries per-object errors parallel to a batch request; an
+// empty string is success. One failed entry must not mask its siblings'
+// outcomes, so the handler never fails the whole RPC for an entry error.
+type batchErrResp struct{ Errs []string }
+
 func init() {
 	transport.RegisterPayload(lookupReq{})
 	transport.RegisterPayload(lookupResp{})
 	transport.RegisterPayload(registerReq{})
 	transport.RegisterPayload(updateReq{})
+	transport.RegisterPayload(lookupBatchReq{})
+	transport.RegisterPayload(lookupBatchResp{})
+	transport.RegisterPayload(registerBatchReq{})
+	transport.RegisterPayload(updateBatchReq{})
+	transport.RegisterPayload(batchErrResp{})
 }
 
 // HomeOf returns the home (directory) node of an object in a cluster of
@@ -103,6 +140,9 @@ func NewService(ep *cluster.Endpoint, size int) *Service {
 	ep.Handle(KindLookup, s.handleLookup)
 	ep.Handle(KindRegister, s.handleRegister)
 	ep.Handle(KindUpdate, s.handleUpdate)
+	ep.Handle(KindLookupBatch, s.handleLookupBatch)
+	ep.Handle(KindRegisterBatch, s.handleRegisterBatch)
+	ep.Handle(KindUpdateBatch, s.handleUpdateBatch)
 	return s
 }
 
@@ -154,6 +194,64 @@ func (s *Service) handleUpdate(_ transport.NodeID, payload any) (any, error) {
 	// its re-register window is over.
 	delete(s.regTx, req.Oid)
 	return lookupResp{Owner: req.Owner, Known: true}, nil
+}
+
+func (s *Service) handleLookupBatch(_ transport.NodeID, payload any) (any, error) {
+	req, ok := payload.(lookupBatchReq)
+	if !ok {
+		return nil, fmt.Errorf("cc: bad lookup batch payload %T", payload)
+	}
+	resp := lookupBatchResp{Results: make([]lookupResp, len(req.Oids))}
+	s.mu.Lock()
+	for i, oid := range req.Oids {
+		owner, known := s.owners[oid]
+		resp.Results[i] = lookupResp{Owner: owner, Known: known}
+	}
+	s.mu.Unlock()
+	return resp, nil
+}
+
+func (s *Service) handleRegisterBatch(_ transport.NodeID, payload any) (any, error) {
+	req, ok := payload.(registerBatchReq)
+	if !ok {
+		return nil, fmt.Errorf("cc: bad register batch payload %T", payload)
+	}
+	resp := batchErrResp{Errs: make([]string, len(req.Oids))}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, oid := range req.Oids {
+		if existing, dup := s.owners[oid]; dup {
+			if existing == req.Owner && req.Tx != 0 && s.regTx[oid] == req.Tx {
+				continue // idempotent re-register by the same transaction
+			}
+			resp.Errs[i] = fmt.Sprintf("cc: object %q already registered to node %d", oid, existing)
+			continue
+		}
+		s.owners[oid] = req.Owner
+		if req.Tx != 0 {
+			s.regTx[oid] = req.Tx
+		}
+	}
+	return resp, nil
+}
+
+func (s *Service) handleUpdateBatch(_ transport.NodeID, payload any) (any, error) {
+	req, ok := payload.(updateBatchReq)
+	if !ok {
+		return nil, fmt.Errorf("cc: bad update batch payload %T", payload)
+	}
+	resp := batchErrResp{Errs: make([]string, len(req.Oids))}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, oid := range req.Oids {
+		if _, known := s.owners[oid]; !known {
+			resp.Errs[i] = fmt.Sprintf("cc: update for unregistered object %q", oid)
+			continue
+		}
+		s.owners[oid] = req.Owner
+		delete(s.regTx, oid)
+	}
+	return resp, nil
 }
 
 // Home returns the home node of id in this cluster.
@@ -237,4 +335,142 @@ func (s *Service) UpdateOwner(ctx context.Context, id object.ID, owner transport
 	}
 	s.NoteOwner(id, owner)
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Batched client methods. Each groups its objects by home node and issues
+// one message per home, in parallel, so a commit touching k objects homed
+// on m nodes costs m messages instead of k. Each returns the number of
+// messages it sent so the commit pipeline can account msgs/commit.
+
+// LocateBatch resolves the owners of every id, consulting the hint cache
+// first and batching the misses by home node. It returns the owner map and
+// the number of lookup messages sent. Unknown objects surface as an
+// ErrUnknownObject-wrapped error; transport failures surface as-is.
+func (s *Service) LocateBatch(ctx context.Context, ids []object.ID) (map[object.ID]transport.NodeID, int, error) {
+	out := make(map[object.ID]transport.NodeID, len(ids))
+	byHome := make(map[transport.NodeID][]object.ID)
+	s.mu.Lock()
+	for _, id := range ids {
+		if owner, ok := s.hints[id]; ok {
+			out[id] = owner
+			continue
+		}
+		home := s.Home(id)
+		byHome[home] = append(byHome[home], id)
+	}
+	s.mu.Unlock()
+	if len(byHome) == 0 {
+		return out, 0, nil
+	}
+	calls := make([]cluster.Outcall, 0, len(byHome))
+	groups := make([][]object.ID, 0, len(byHome))
+	for home, oids := range byHome {
+		calls = append(calls, cluster.Outcall{To: home, Kind: KindLookupBatch, Payload: lookupBatchReq{Oids: oids}})
+		groups = append(groups, oids)
+	}
+	results := s.ep.Broadcast(ctx, calls)
+	var firstErr error
+	for gi, res := range results {
+		if res.Err != nil {
+			if firstErr == nil {
+				firstErr = res.Err
+			}
+			continue
+		}
+		resp, ok := res.Body.(lookupBatchResp)
+		if !ok || len(resp.Results) != len(groups[gi]) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cc: bad lookup batch reply %T", res.Body)
+			}
+			continue
+		}
+		for i, r := range resp.Results {
+			id := groups[gi][i]
+			if !r.Known {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: %q", ErrUnknownObject, id)
+				}
+				continue
+			}
+			s.NoteOwner(id, r.Owner)
+			out[id] = r.Owner
+		}
+	}
+	return out, len(calls), firstErr
+}
+
+// RegisterBatchTx registers every id as created by transaction tx and owned
+// by owner, one message per home node. It returns the number of messages
+// sent and the first per-object or transport error encountered.
+func (s *Service) RegisterBatchTx(ctx context.Context, ids []object.ID, owner transport.NodeID, tx uint64) (int, error) {
+	msgs, err := s.batchByHome(ctx, ids, KindRegisterBatch, func(oids []object.ID) any {
+		return registerBatchReq{Oids: oids, Owner: owner, Tx: tx}
+	})
+	if err != nil {
+		return msgs, err
+	}
+	for _, id := range ids {
+		s.NoteOwner(id, owner)
+	}
+	return msgs, nil
+}
+
+// UpdateOwnerBatch records commit-time ownership migration of every id at
+// its home, one message per home node, returning the message count.
+func (s *Service) UpdateOwnerBatch(ctx context.Context, ids []object.ID, owner transport.NodeID) (int, error) {
+	msgs, err := s.batchByHome(ctx, ids, KindUpdateBatch, func(oids []object.ID) any {
+		return updateBatchReq{Oids: oids, Owner: owner}
+	})
+	if err != nil {
+		return msgs, err
+	}
+	for _, id := range ids {
+		s.NoteOwner(id, owner)
+	}
+	return msgs, nil
+}
+
+// batchByHome groups ids by home node, broadcasts one kind-message per
+// home built by mkReq, and folds the per-entry error strings of each
+// batchErrResp reply into the first error. It returns the message count
+// even on error so callers can account partial fan-outs.
+func (s *Service) batchByHome(ctx context.Context, ids []object.ID, kind transport.Kind, mkReq func([]object.ID) any) (int, error) {
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	byHome := make(map[transport.NodeID][]object.ID)
+	for _, id := range ids {
+		home := s.Home(id)
+		byHome[home] = append(byHome[home], id)
+	}
+	calls := make([]cluster.Outcall, 0, len(byHome))
+	groups := make([][]object.ID, 0, len(byHome))
+	for home, oids := range byHome {
+		calls = append(calls, cluster.Outcall{To: home, Kind: kind, Payload: mkReq(oids)})
+		groups = append(groups, oids)
+	}
+	results := s.ep.Broadcast(ctx, calls)
+	var firstErr error
+	for gi, res := range results {
+		if res.Err != nil {
+			if firstErr == nil {
+				firstErr = res.Err
+			}
+			continue
+		}
+		resp, ok := res.Body.(batchErrResp)
+		if !ok || len(resp.Errs) != len(groups[gi]) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cc: bad batch reply %T", res.Body)
+			}
+			continue
+		}
+		for i, msg := range resp.Errs {
+			if msg != "" && firstErr == nil {
+				firstErr = fmt.Errorf("cc: %q: %s", groups[gi][i], msg)
+			}
+		}
+	}
+	return len(calls), firstErr
 }

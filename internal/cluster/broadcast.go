@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+
+	"dstm/internal/transport"
+)
+
+// Outcall is one destination of a Broadcast: a request kind and payload
+// bound for one node.
+type Outcall struct {
+	To      transport.NodeID
+	Kind    transport.Kind
+	Payload any
+}
+
+// CallResult is one Outcall's outcome: the decoded reply body or the error
+// Call would have returned for it.
+type CallResult struct {
+	Body any
+	Err  error
+}
+
+// Broadcast issues every call concurrently and waits for all of them,
+// returning results in call order. Each call goes through Call, so each
+// enjoys the endpoint's full retransmission, deduplication, and deadline
+// machinery independently — one slow or lossy peer delays only its own
+// slot, and the wave as a whole costs one round trip to the slowest peer
+// instead of one per call.
+//
+// This is the fan-out primitive of the owner-grouped commit pipeline: the
+// committer partitions its write/read sets by owner and broadcasts one
+// batch per owner, turning O(objects) sequential rounds into O(owners)
+// parallel ones.
+func (e *Endpoint) Broadcast(ctx context.Context, calls []Outcall) []CallResult {
+	results := make([]CallResult, len(calls))
+	switch len(calls) {
+	case 0:
+		return results
+	case 1:
+		// Common case (all objects on one owner): skip the goroutine.
+		results[0].Body, results[0].Err = e.Call(ctx, calls[0].To, calls[0].Kind, calls[0].Payload)
+		return results
+	}
+	var wg sync.WaitGroup
+	for i, c := range calls {
+		wg.Add(1)
+		go func(i int, c Outcall) {
+			defer wg.Done()
+			results[i].Body, results[i].Err = e.Call(ctx, c.To, c.Kind, c.Payload)
+		}(i, c)
+	}
+	wg.Wait()
+	return results
+}

@@ -131,6 +131,7 @@ type Endpoint struct {
 	dedup     map[dedupKey]*dedupEntry
 	dedupFIFO []dedupKey
 	closed    bool
+	done      chan struct{} // closed by Close; fails pending calls fast
 }
 
 // NewEndpoint wraps tr. The clock is shared with the node's STM runtime so
@@ -143,6 +144,7 @@ func NewEndpoint(tr transport.Transport, clock *vclock.Clock) *Endpoint {
 		handlers: make(map[transport.Kind]RequestHandler),
 		notifies: make(map[transport.Kind]NotifyHandler),
 		dedup:    make(map[dedupKey]*dedupEntry),
+		done:     make(chan struct{}),
 	}
 	e.retry.Store(DefaultRetryPolicy())
 	tr.SetHandler(e.onMessage)
@@ -258,6 +260,10 @@ func (e *Endpoint) Call(ctx context.Context, to transport.NodeID, kind transport
 		case m := <-ch:
 			body, err = decode(m)
 			return body, err, false
+		case <-e.done:
+			// Close drained the endpoint: no reply can ever arrive, so fail
+			// now instead of sitting out the rest of the call deadline.
+			return nil, ErrEndpointClosed, false
 		case <-ctx.Done():
 			return nil, timeoutErr(), false
 		case <-expire:
@@ -268,6 +274,13 @@ func (e *Endpoint) Call(ctx context.Context, to transport.NodeID, kind transport
 	rp := e.RetryPolicy()
 	backoff := rp.BaseBackoff
 	for attempt := 1; ; attempt++ {
+		// Emit the send event BEFORE handing the message to the transport:
+		// delivery runs on another goroutine (synchronously, under zero
+		// latency), so emitting afterwards can order the reply's recv event
+		// ahead of this send in the same node's sequence — a false
+		// "unsolicited reply" for the trace checker. A recorded send whose
+		// message then fails to leave is harmless to every invariant.
+		e.tracer.Load().Emit(trace.Event{Type: trace.EvMsgSend, Peer: to, Corr: corr, A: uint64(kind)})
 		err := e.tr.Send(&transport.Message{
 			From:    e.Self(),
 			To:      to,
@@ -279,7 +292,6 @@ func (e *Endpoint) Call(ctx context.Context, to transport.NodeID, kind transport
 		if err != nil {
 			return nil, fmt.Errorf("cluster: call %v to node %d: %w", kind, to, err)
 		}
-		e.tracer.Load().Emit(trace.Event{Type: trace.EvMsgSend, Peer: to, Corr: corr, A: uint64(kind)})
 
 		body, err, expired := await(rp.PerTryTimeout)
 		if !expired {
@@ -443,7 +455,9 @@ func (e *Endpoint) reply(req *transport.Message, env envelope) {
 	}
 }
 
-// Close shuts the endpoint down and fails all pending calls.
+// Close shuts the endpoint down and fails all pending calls: every Call
+// blocked awaiting a reply returns ErrEndpointClosed promptly instead of
+// waiting out its full deadline.
 func (e *Endpoint) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -451,6 +465,7 @@ func (e *Endpoint) Close() error {
 		return nil
 	}
 	e.closed = true
+	close(e.done)
 	e.mu.Unlock()
 	return e.tr.Close()
 }

@@ -96,6 +96,42 @@ func TestCallAfterClose(t *testing.T) {
 	a.Close() // idempotent
 }
 
+// TestClosePendingCall is the regression test for the shutdown hang: a Call
+// already in flight (request delivered, reply never coming) must be failed
+// with ErrEndpointClosed by Close, not left blocked until its timeout.
+func TestClosePendingCall(t *testing.T) {
+	a, b, _ := newPair(t, nil)
+	entered := make(chan struct{})
+	block := make(chan struct{})
+	defer close(block)
+	var once sync.Once
+	b.Handle(kindSlow, func(transport.NodeID, any) (any, error) {
+		once.Do(func() { close(entered) })
+		<-block
+		return nil, nil
+	})
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Call(context.Background(), 1, kindSlow, nil)
+		errc <- err
+	}()
+	select {
+	case <-entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("request never reached the handler")
+	}
+	a.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrEndpointClosed) {
+			t.Fatalf("pending call err = %v, want ErrEndpointClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not fail the pending call")
+	}
+}
+
 func TestNotify(t *testing.T) {
 	a, b, _ := newPair(t, nil)
 	got := make(chan any, 1)

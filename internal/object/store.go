@@ -2,9 +2,21 @@ package object
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// storeShards is the number of independently locked shards in a Store. A
+// power of two so the shard index is a mask of the ID hash. 16 shards keep
+// lock hold times short under the batched commit path, where one handler
+// applies a whole per-owner batch while retrieves for unrelated objects
+// keep flowing on other shards.
+const storeShards = 16
+
+// TraceFn is the store's debug callback type; see Store.SetTrace.
+type TraceFn func(op string, id ID, tx uint64)
 
 // Store holds the authoritative copies of the objects currently owned by
 // one node, together with per-object commit-lock state. All methods are
@@ -14,26 +26,42 @@ import (
 // while a committing transaction validates an object (holds its lock),
 // every incoming retrieve request for that object is a conflict that the
 // node's scheduler must resolve (abort vs enqueue).
+//
+// The store is sharded by ID hash: independent objects contend on
+// different mutexes, and the batched commit protocol (LockBatch) takes the
+// union of its entries' shard locks — in ascending shard order, so
+// concurrent batches cannot deadlock — to apply a whole batch as one
+// atomic step.
 type Store struct {
-	mu    sync.Mutex
-	objs  map[ID]*record
-	trace func(op string, id ID, tx uint64)
+	shards [storeShards]shard
+	trace  atomic.Pointer[TraceFn]
 }
 
-// SetTrace installs a debug callback invoked (under the store lock) for
-// every lock-state transition: "lock-ok", "lock-busy", "lock-stale",
-// "lock-refused", "lock-expired", "unlock", "unlock-miss", "remove",
-// "commit", "install", "install-locked". Pass nil to disable. Intended for
-// tests and debugging.
-func (s *Store) SetTrace(f func(op string, id ID, tx uint64)) {
-	s.mu.Lock()
-	s.trace = f
-	s.mu.Unlock()
+type shard struct {
+	mu   sync.Mutex
+	objs map[ID]*record
+}
+
+func (s *Store) shardOf(id ID) *shard {
+	return &s.shards[id.Hash()&(storeShards-1)]
+}
+
+// SetTrace installs a debug callback invoked (under the owning shard's
+// lock) for every lock-state transition: "lock-ok", "lock-busy",
+// "lock-stale", "lock-refused", "lock-expired", "unlock", "unlock-miss",
+// "remove", "commit", "install", "install-locked". Pass nil to disable.
+// Intended for tests and debugging.
+func (s *Store) SetTrace(f TraceFn) {
+	if f == nil {
+		s.trace.Store(nil)
+		return
+	}
+	s.trace.Store(&f)
 }
 
 func (s *Store) emit(op string, id ID, tx uint64) {
-	if s.trace != nil {
-		s.trace(op, id, tx)
+	if f := s.trace.Load(); f != nil {
+		(*f)(op, id, tx)
 	}
 }
 
@@ -68,27 +96,44 @@ func (r *record) consumeRefusal(tx uint64) bool {
 	return false
 }
 
+// refusedFor reports whether tx is tombstoned without consuming the entry
+// (used by the read-only evaluation pass of LockBatch).
+func (r *record) refusedFor(tx uint64) bool {
+	for i := range r.refused {
+		if r.refused[i] == tx {
+			return true
+		}
+	}
+	return false
+}
+
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{objs: make(map[ID]*record)}
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].objs = make(map[ID]*record)
+	}
+	return s
 }
 
 // Install inserts or replaces the authoritative copy of an object,
 // unlocked. Used at object creation and when ownership migrates to this
 // node after a commit.
 func (s *Store) Install(id ID, val Value, ver Version) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	s.emit("install", id, 0)
-	s.objs[id] = &record{val: val, ver: ver}
+	sh.objs[id] = &record{val: val, ver: ver}
 }
 
 // Snapshot returns a deep copy of the object's value plus its version and
 // lock state. ok is false when this node does not own the object.
 func (s *Store) Snapshot(id ID) (val Value, ver Version, locked bool, ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.objs[id]
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.objs[id]
 	if !ok {
 		return nil, Version{}, false, false
 	}
@@ -98,9 +143,10 @@ func (s *Store) Snapshot(id ID) (val Value, ver Version, locked bool, ok bool) {
 // Version returns the object's current version. ok is false when the object
 // is not owned here.
 func (s *Store) Version(id ID) (Version, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.objs[id]
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.objs[id]
 	if !ok {
 		return Version{}, false
 	}
@@ -110,9 +156,10 @@ func (s *Store) Version(id ID) (Version, bool) {
 // State returns the object's version and the transaction holding its commit
 // lock (0 when unlocked). ok is false when the object is not owned here.
 func (s *Store) State(id ID) (ver Version, lockedBy uint64, ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.objs[id]
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.objs[id]
 	if !ok {
 		return Version{}, 0, false
 	}
@@ -128,9 +175,15 @@ func (s *Store) State(id ID) (ver Version, lockedBy uint64, ok bool) {
 //	LockBusy     – another transaction holds the commit lock
 //	LockNotOwner – this node does not own the object
 func (s *Store) Lock(id ID, tx uint64, expect Version) LockResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.objs[id]
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.lockLocked(sh, id, tx, expect)
+}
+
+// lockLocked is Lock's body; the caller holds sh.mu.
+func (s *Store) lockLocked(sh *shard, id ID, tx uint64, expect Version) LockResult {
+	r, ok := sh.objs[id]
 	if !ok {
 		return LockNotOwner
 	}
@@ -154,6 +207,110 @@ func (s *Store) Lock(id ID, tx uint64, expect Version) LockResult {
 	return LockOK
 }
 
+// LockEntry is one object of a LockBatch request.
+type LockEntry struct {
+	ID     ID
+	Expect Version
+}
+
+// LockBatch attempts to commit-lock every entry for tx as one atomic step:
+// it holds the union of the entries' shard locks (acquired in ascending
+// shard order, so concurrent batches cannot deadlock) while evaluating all
+// entries, and applies the locks only when every entry would succeed.
+//
+// applied reports whether the locks were taken. When applied is false, NO
+// lock was taken — the per-entry results tell the caller which entries
+// failed (stale / busy / not-owner) and which would have succeeded
+// (LockOK), so a single bad entry aborts the commit precisely while its
+// sibling entries roll back for free. All-or-nothing acquisition also
+// means a racing batch never observes a half-locked prefix of this one.
+func (s *Store) LockBatch(tx uint64, entries []LockEntry) (results []LockResult, applied bool) {
+	results = make([]LockResult, len(entries))
+	if len(entries) == 0 {
+		return results, true
+	}
+
+	s.lockShardsFor(entries)
+	defer s.unlockShardsFor(entries)
+
+	// Evaluation pass: no mutation, so a failed batch leaves the store
+	// exactly as it found it (tombstones included).
+	applied = true
+	for i, e := range entries {
+		r, ok := s.shardOf(e.ID).objs[e.ID]
+		switch {
+		case !ok:
+			results[i] = LockNotOwner
+		case tx != 0 && r.refusedFor(tx):
+			results[i] = LockBusy
+		case r.lockTx != 0 && r.lockTx != tx:
+			results[i] = LockBusy
+		case !r.ver.Equal(e.Expect):
+			results[i] = LockStale
+		default:
+			results[i] = LockOK
+		}
+		if results[i] != LockOK {
+			applied = false
+		}
+	}
+	if !applied {
+		// Narrate the failures (but not the would-have-succeeded entries:
+		// nothing was locked, so emitting lock-ok would lie to the trace).
+		for i, e := range entries {
+			switch results[i] {
+			case LockBusy:
+				s.emit("lock-busy", e.ID, tx)
+			case LockStale:
+				s.emit("lock-stale", e.ID, tx)
+			}
+		}
+		return results, false
+	}
+	now := time.Now()
+	for _, e := range entries {
+		r := s.shardOf(e.ID).objs[e.ID]
+		if tx != 0 {
+			// Consume matching tombstones only on the apply path; the
+			// evaluation pass proved none exists for tx.
+			r.consumeRefusal(tx)
+		}
+		r.lockTx = tx
+		r.lockAt = now
+		s.emit("lock-ok", e.ID, tx)
+	}
+	return results, true
+}
+
+// lockShardsFor locks the union of the entries' shards in ascending order.
+func (s *Store) lockShardsFor(entries []LockEntry) {
+	for _, idx := range shardSet(entries) {
+		s.shards[idx].mu.Lock()
+	}
+}
+
+// unlockShardsFor releases what lockShardsFor took.
+func (s *Store) unlockShardsFor(entries []LockEntry) {
+	for _, idx := range shardSet(entries) {
+		s.shards[idx].mu.Unlock()
+	}
+}
+
+// shardSet returns the sorted, deduplicated shard indices of entries.
+func shardSet(entries []LockEntry) []int {
+	var mask uint32
+	for _, e := range entries {
+		mask |= 1 << (e.ID.Hash() & (storeShards - 1))
+	}
+	out := make([]int, 0, storeShards)
+	for i := 0; i < storeShards; i++ {
+		if mask&(1<<i) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // ExpireLocks force-releases every commit lock held for at least lease,
 // returning the affected object IDs. The expired holder is tombstoned (see
 // record.refuse) so its delayed lock, commit, or unlock messages cannot
@@ -163,28 +320,32 @@ func (s *Store) Lock(id ID, tx uint64, expect Version) LockResult {
 // circulation and queued requesters get served.
 func (s *Store) ExpireLocks(lease time.Duration) []ID {
 	now := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var expired []ID
-	for id, r := range s.objs {
-		if r.lockTx != 0 && now.Sub(r.lockAt) >= lease {
-			s.emit("lock-expired", id, r.lockTx)
-			r.refuse(r.lockTx)
-			r.lockTx = 0
-			expired = append(expired, id)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id, r := range sh.objs {
+			if r.lockTx != 0 && now.Sub(r.lockAt) >= lease {
+				s.emit("lock-expired", id, r.lockTx)
+				r.refuse(r.lockTx)
+				r.lockTx = 0
+				expired = append(expired, id)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return expired
 }
 
 // Unlock releases the commit lock on id if held by tx. Releasing a lock
 // that tx does not hold plants a one-shot refusal marker instead (see
-// record.refusedTx), so a delayed Lock request from tx cannot orphan the
+// record.refused), so a delayed Lock request from tx cannot orphan the
 // object after its owner already processed the release.
 func (s *Store) Unlock(id ID, tx uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.objs[id]
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.objs[id]
 	if !ok {
 		s.emit("unlock-noobj", id, tx)
 		return
@@ -202,19 +363,21 @@ func (s *Store) Unlock(id ID, tx uint64) {
 // invisible to plain snapshots' unlocked path until the creating
 // transaction commits (UpdateCommitted) or rolls back (Remove).
 func (s *Store) InstallLocked(id ID, val Value, ver Version, tx uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	s.emit("install-locked", id, tx)
-	s.objs[id] = &record{val: val, ver: ver, lockTx: tx, lockAt: time.Now()}
+	sh.objs[id] = &record{val: val, ver: ver, lockTx: tx, lockAt: time.Now()}
 }
 
 // UpdateCommitted installs a new committed value and version for an object
 // whose commit lock is held by tx, then releases the lock. Used when the
 // committing transaction's node already owns the object (no migration).
 func (s *Store) UpdateCommitted(id ID, val Value, ver Version, tx uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.objs[id]
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.objs[id]
 	if !ok {
 		return fmt.Errorf("store: update %q: not owned", id)
 	}
@@ -232,9 +395,10 @@ func (s *Store) UpdateCommitted(id ID, val Value, ver Version, tx uint64) error 
 // (ownership is migrating away as part of tx's commit). It returns an error
 // if the object is absent or locked by someone else.
 func (s *Store) Remove(id ID, tx uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.objs[id]
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.objs[id]
 	if !ok {
 		return fmt.Errorf("store: remove %q: not owned", id)
 	}
@@ -242,42 +406,58 @@ func (s *Store) Remove(id ID, tx uint64) error {
 		return fmt.Errorf("store: remove %q: lock held by tx %d, not %d", id, r.lockTx, tx)
 	}
 	s.emit("remove", id, tx)
-	delete(s.objs, id)
+	delete(sh.objs, id)
 	return nil
 }
 
 // Owns reports whether this node currently owns id.
 func (s *Store) Owns(id ID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.objs[id]
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.objs[id]
 	return ok
 }
 
 // Locked reports whether id is owned here and commit-locked.
 func (s *Store) Locked(id ID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.objs[id]
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.objs[id]
 	return ok && r.lockTx != 0
 }
 
 // Len returns the number of objects owned by this node.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.objs)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.objs)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // IDs returns the IDs of all objects owned here (unordered snapshot).
 func (s *Store) IDs() []ID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]ID, 0, len(s.objs))
-	for id := range s.objs {
-		out = append(out, id)
+	var out []ID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id := range sh.objs {
+			out = append(out, id)
+		}
+		sh.mu.Unlock()
 	}
 	return out
+}
+
+// SortIDs orders ids ascending — the cluster-wide deterministic lock order
+// used by the commit protocol, within and across per-owner batches.
+func SortIDs(ids []ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }
 
 // LockResult is the outcome of a Store.Lock attempt.

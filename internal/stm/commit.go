@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"sync"
 	"time"
 
+	"dstm/internal/cluster"
 	"dstm/internal/object"
 	"dstm/internal/transport"
 )
@@ -25,9 +25,56 @@ import (
 //     requester queue) and update the home directory;
 //  6. hand freshly committed objects to queued requesters (RTS hand-off).
 //
+// Every phase is owner-grouped: the write and read sets are partitioned by
+// owner (IDs kept in global sortIDs order within and across groups) and each
+// phase sends ONE batch message per owner, fanned out in parallel through
+// cluster.Endpoint.Broadcast. A commit touching k objects spread over m
+// owners therefore costs O(m) message rounds instead of O(k) — the
+// messages and rounds are counted into Metrics (CommitMsgs/CommitRounds).
+//
 // Like the paper's model we assume reliable message delivery: a transport
 // failure between steps 4 and 5 is surfaced but cannot be rolled back.
 var debugCommit = os.Getenv("DSTM_DEBUG_COMMIT") != ""
+
+// ownerGroup is one owner's slice of an owner-partitioned ID set, in
+// deterministic order: IDs sorted within the group, groups sorted by owner.
+type ownerGroup struct {
+	owner transport.NodeID
+	oids  []object.ID
+}
+
+// groupByOwner partitions oids (already in sortIDs order) by their owner,
+// returning groups sorted by owner ID so batch fan-outs are deterministic.
+func groupByOwner(oids []object.ID, owners map[object.ID]transport.NodeID) []ownerGroup {
+	byOwner := make(map[transport.NodeID][]object.ID)
+	for _, oid := range oids {
+		byOwner[owners[oid]] = append(byOwner[owners[oid]], oid)
+	}
+	groups := make([]ownerGroup, 0, len(byOwner))
+	for o, ids := range byOwner {
+		groups = append(groups, ownerGroup{owner: o, oids: ids})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].owner < groups[j].owner })
+	return groups
+}
+
+// commitMeter tallies the protocol messages and parallel waves one commit
+// pipeline run costs; flushed into Metrics only when the commit succeeds.
+type commitMeter struct {
+	msgs   uint64
+	rounds uint64
+}
+
+// wave records one parallel fan-out of n messages. A no-op when n is 0
+// (fully local phases cost nothing) or on a nil meter (validation reused
+// outside the commit pipeline).
+func (cm *commitMeter) wave(n int) {
+	if cm == nil || n == 0 {
+		return
+	}
+	cm.msgs += uint64(n)
+	cm.rounds++
+}
 
 func (tx *Txn) commit(ctx context.Context) error {
 	if tx.parent != nil {
@@ -52,9 +99,12 @@ func (tx *Txn) commit(ctx context.Context) error {
 		return nil
 	}
 	sortIDs(writes)
+	sortIDs(reads)
 	sortIDs(creates)
 
-	// Phase 1: lock the write set at the owners.
+	var meter commitMeter
+
+	// Phase 1: lock the write set at the owners, one batch per owner.
 	//
 	// Lock release and post-commit publishing must complete even when the
 	// transaction's own context has just been cancelled — otherwise a
@@ -63,92 +113,45 @@ func (tx *Txn) commit(ctx context.Context) error {
 	locked := make(map[object.ID]transport.NodeID, len(writes))
 	abortUnlock := func() { tx.releaseLocks(detach(ctx), locked) }
 
-	// All locks are try-locks, so they can be requested concurrently —
-	// this keeps the total validation window (the conflict window the
-	// scheduler arbitrates) close to one round trip instead of one per
-	// object.
-	{
-		var mu sync.Mutex
-		var wg sync.WaitGroup
-		var firstErr error
-		stale := false
-		busy := false
-		for _, oid := range writes {
-			wg.Add(1)
-			go func(oid object.ID) {
-				defer wg.Done()
-				e := tx.entries[oid]
-				owner, attempted, res, err := tx.acquire(ctx, oid, e.ver)
-				mu.Lock()
-				defer mu.Unlock()
-				if attempted {
-					// Track every owner we *attempted* to lock: if the
-					// reply was lost (cancellation mid-call), the request
-					// may still lock the object at the owner, so the abort
-					// path must release it (the store's refusal marker
-					// covers release-before-acquire races).
-					locked[oid] = owner
-				}
-				if err != nil {
-					if debugCommit {
-						fmt.Printf("DBG acquire-err tx=%x oid=%s owner=%d err=%v\n", tx.lockID, oid, owner, err)
-					}
-					if firstErr == nil {
-						firstErr = err
-					}
-					return
-				}
-				switch res {
-				case object.LockOK:
-				case object.LockStale:
-					stale = true
-				default: // LockBusy, LockNotOwner after hint chasing
-					busy = true
-				}
-			}(oid)
-		}
-		wg.Wait()
-		switch {
-		case firstErr != nil:
-			abortUnlock()
-			return tx.convertErr(ctx, firstErr, AbortLockFailed)
-		case stale:
-			abortUnlock()
-			return &abortError{target: tx, cause: AbortValidation}
-		case busy:
-			abortUnlock()
-			return &abortError{target: tx, cause: AbortLockFailed}
-		}
-	}
-
-	// Phase 2: early validation of the read set, concurrently.
-	if err := tx.validateMany(ctx, reads); err != nil {
+	if err := tx.acquireAll(ctx, writes, locked, &meter); err != nil {
 		abortUnlock()
 		return err
 	}
 
-	// Phase 3: install creations locked, then register them. Bail out on a
-	// cancelled context before the first registration; afterwards run the
-	// registrations detached so cancellation cannot leave a subset of the
-	// creations registered.
-	if err := ctx.Err(); err != nil {
+	// Phase 2: early validation of the read set, one batch per owner.
+	if err := tx.validateMany(ctx, reads, &meter); err != nil {
 		abortUnlock()
 		return err
 	}
-	regCtx := detach(ctx)
-	for i, oid := range creates {
-		e := tx.entries[oid]
-		rt.store.InstallLocked(oid, e.val.Copy(), object.Version{}, tx.lockID)
-		if err := rt.locator.RegisterTx(regCtx, oid, rt.Self(), tx.lockID); err != nil {
+
+	// Phase 3: install creations locked, then register them, one batch per
+	// home. Bail out on a cancelled context before the registrations; then
+	// run them detached so cancellation cannot leave a subset registered.
+	if len(creates) > 0 {
+		if err := ctx.Err(); err != nil {
+			abortUnlock()
+			return err
+		}
+		for _, oid := range creates {
+			e := tx.entries[oid]
+			rt.store.InstallLocked(oid, e.val.Copy(), object.Version{}, tx.lockID)
+		}
+		msgs, err := rt.locator.RegisterBatchTx(detach(ctx), creates, rt.Self(), tx.lockID)
+		meter.wave(msgs)
+		if err != nil {
 			// ID collision or directory failure: roll the creations back.
-			for _, done := range creates[:i+1] {
-				_ = rt.store.Remove(done, tx.lockID)
+			// Registration of the non-colliding entries is harmless — the
+			// batch is tagged with tx.lockID, so a retried attempt of the
+			// same transaction re-registers them idempotently and a
+			// different creator's genuine collision still surfaces.
+			for _, oid := range creates {
+				_ = rt.store.Remove(oid, tx.lockID)
 			}
 			abortUnlock()
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			return fmt.Errorf("stm: create %q: %w", oid, err)
+			return fmt.Errorf("stm: create: %w", err)
 		}
 	}
 
@@ -157,36 +160,8 @@ func (tx *Txn) commit(ctx context.Context) error {
 
 	// Phase 5+6: publish writes and serve queued requesters. Past the
 	// commit point cancellation must not interrupt publication.
-	pubCtx := detach(ctx)
-	{
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		var pubErr error
-		for _, oid := range writes {
-			wg.Add(1)
-			go func(oid object.ID) {
-				defer wg.Done()
-				e := tx.entries[oid]
-				if err := tx.publish(pubCtx, oid, e.val, newVer, locked[oid]); err != nil {
-					if debugCommit {
-						fmt.Printf("DBG publish-err tx=%x oid=%s err=%v\n", tx.lockID, oid, err)
-					}
-					// Already-published objects cannot be unpublished (the
-					// paper's model assumes reliable delivery); at least
-					// free this object's lock so it is not wedged.
-					tx.releaseLocks(pubCtx, map[object.ID]transport.NodeID{oid: locked[oid]})
-					mu.Lock()
-					if pubErr == nil {
-						pubErr = err
-					}
-					mu.Unlock()
-				}
-			}(oid)
-		}
-		wg.Wait()
-		if pubErr != nil {
-			return pubErr
-		}
+	if err := tx.publishAll(detach(ctx), writes, locked, newVer, &meter); err != nil {
+		return err
 	}
 	for _, oid := range creates {
 		e := tx.entries[oid]
@@ -196,44 +171,114 @@ func (tx *Txn) commit(ctx context.Context) error {
 		rt.serveQueue(oid, rt.policy.OnRelease(oid))
 	}
 
+	rt.metrics.commitMsgs.Add(meter.msgs)
+	rt.metrics.commitRounds.Add(meter.rounds)
 	rt.stats.RecordCommit(tx.name, time.Since(tx.began))
 	return nil
 }
 
-// acquire commit-locks one object at its owner, chasing stale hints.
-// attempted reports whether a lock request was issued to the returned
-// owner — if so, the caller must release it on abort even when err is
-// non-nil, because a request whose reply was lost may still have locked
-// the object.
-func (tx *Txn) acquire(ctx context.Context, oid object.ID, ver object.Version) (owner transport.NodeID, attempted bool, res object.LockResult, err error) {
-	rt := tx.rt
-	for hop := 0; hop < maxOwnerHops; hop++ {
-		owner, err = rt.locator.Locate(ctx, oid)
-		if err != nil {
-			return owner, attempted, object.LockNotOwner, err
-		}
-		attempted = true
-		body, err := rt.ep.Call(ctx, owner, KindAcquire, acquireReq{Oid: oid, TxID: tx.lockID, Ver: ver})
-		if err != nil {
-			return owner, attempted, object.LockNotOwner, err
-		}
-		resp, ok := body.(acquireResp)
-		if !ok {
-			return owner, attempted, object.LockNotOwner, fmt.Errorf("stm: bad acquire reply %T", body)
-		}
-		res = object.LockResult(resp.Result)
-		if res == object.LockNotOwner {
-			// This hop's owner definitively does not hold the object; the
-			// next hop's owner is what a conservative release must target.
-			attempted = false
-			if _, err := rt.locator.Relocate(ctx, oid); err != nil {
-				return owner, attempted, res, err
-			}
-			continue
-		}
-		return owner, attempted, res, nil
+// acquireAll commit-locks the write set, one atomic batch per owner, fanned
+// out in parallel. Owners apply their batch all-or-nothing, so a batch that
+// comes back unapplied left NO locks at that owner; only applied batches
+// (and calls whose replies were lost, conservatively) are recorded in
+// locked for the abort path to release. Stale owner hints are chased in
+// batches too: a "not owner" entry rolls its whole group back, the hint is
+// invalidated, and the group's objects re-enter the next wave, hop-bounded.
+func (tx *Txn) acquireAll(ctx context.Context, writes []object.ID, locked map[object.ID]transport.NodeID, meter *commitMeter) error {
+	if len(writes) == 0 {
+		return nil
 	}
-	return owner, false, object.LockNotOwner, nil
+	rt := tx.rt
+	pending := writes
+	for hop := 0; hop < maxOwnerHops && len(pending) > 0; hop++ {
+		owners, msgs, err := rt.locator.LocateBatch(ctx, pending)
+		meter.wave(msgs)
+		if err != nil {
+			return tx.convertErr(ctx, err, AbortLockFailed)
+		}
+		groups := groupByOwner(pending, owners)
+		calls := make([]cluster.Outcall, len(groups))
+		for i, g := range groups {
+			req := acquireBatchReq{TxID: tx.lockID, Entries: make([]verEntry, len(g.oids))}
+			for j, oid := range g.oids {
+				req.Entries[j] = verEntry{Oid: oid, Ver: tx.entries[oid].ver}
+			}
+			calls[i] = cluster.Outcall{To: g.owner, Kind: KindAcquireBatch, Payload: req}
+		}
+		results := rt.ep.Broadcast(ctx, calls)
+		meter.wave(len(calls))
+
+		var firstErr error
+		stale, busy := false, false
+		var next []object.ID
+		for gi, res := range results {
+			g := groups[gi]
+			if res.Err != nil {
+				// The reply was lost: the batch may still have been applied
+				// at the owner, so the abort path must conservatively
+				// release the whole group there (the store's refusal
+				// markers cover release-before-acquire races).
+				for _, oid := range g.oids {
+					locked[oid] = g.owner
+				}
+				if debugCommit {
+					fmt.Printf("DBG acquire-batch-err tx=%x owner=%d oids=%v err=%v\n", tx.lockID, g.owner, g.oids, res.Err)
+				}
+				if firstErr == nil {
+					firstErr = res.Err
+				}
+				continue
+			}
+			resp, ok := res.Body.(acquireBatchResp)
+			if !ok || len(resp.Results) != len(g.oids) {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("stm: bad acquire batch reply %T", res.Body)
+				}
+				continue
+			}
+			if resp.Applied {
+				for _, oid := range g.oids {
+					locked[oid] = g.owner
+				}
+				continue
+			}
+			// Unapplied: no lock was taken at this owner. Classify the
+			// per-entry refusals; pure not-owner groups chase the hint.
+			notOwnerOnly := true
+			for i, r := range resp.Results {
+				switch object.LockResult(r) {
+				case object.LockOK:
+				case object.LockStale:
+					stale, notOwnerOnly = true, false
+				case object.LockNotOwner:
+					rt.locator.InvalidateHint(g.oids[i])
+				default: // LockBusy
+					busy, notOwnerOnly = true, false
+				}
+			}
+			if notOwnerOnly {
+				// The atomic batch rolled back because of its not-owner
+				// entries, so the WHOLE group (including entries that would
+				// have locked) must retry against fresh owners.
+				next = append(next, g.oids...)
+			}
+		}
+		switch {
+		case firstErr != nil:
+			return tx.convertErr(ctx, firstErr, AbortLockFailed)
+		case stale:
+			return &abortError{target: tx, cause: AbortValidation}
+		case busy:
+			return &abortError{target: tx, cause: AbortLockFailed}
+		}
+		sortIDs(next)
+		pending = next
+	}
+	if len(pending) > 0 {
+		// The objects moved more times than we are willing to chase.
+		return &abortError{target: tx, cause: AbortLockFailed}
+	}
+	return nil
 }
 
 // releaseLocks batches unlock requests per owner after a failed commit.
@@ -242,53 +287,126 @@ func (tx *Txn) releaseLocks(ctx context.Context, locked map[object.ID]transport.
 	for oid, owner := range locked {
 		byOwner[owner] = append(byOwner[owner], oid)
 	}
+	calls := make([]cluster.Outcall, 0, len(byOwner))
 	for owner, oids := range byOwner {
 		sortIDs(oids)
-		// Best effort; the locks die with the runtime if the peer is gone.
-		_, err := tx.rt.ep.Call(ctx, owner, KindRelease, releaseReq{Oids: oids, TxID: tx.lockID})
-		if debugCommit {
-			fmt.Printf("DBG release tx=%x owner=%d oids=%v err=%v\n", tx.lockID, owner, oids, err)
+		calls = append(calls, cluster.Outcall{To: owner, Kind: KindRelease, Payload: releaseReq{Oids: oids, TxID: tx.lockID}})
+	}
+	// Best effort; the locks die with the runtime if the peer is gone.
+	results := tx.rt.ep.Broadcast(ctx, calls)
+	if debugCommit {
+		for i, res := range results {
+			fmt.Printf("DBG release tx=%x call=%+v err=%v\n", tx.lockID, calls[i], res.Err)
 		}
 	}
 }
 
-// publish installs one committed write at its new home (this node) and
-// hands it to queued requesters.
-func (tx *Txn) publish(ctx context.Context, oid object.ID, val object.Value, ver object.Version, owner transport.NodeID) error {
-	rt := tx.rt
-	if owner == rt.Self() {
-		if err := rt.store.UpdateCommitted(oid, val.Copy(), ver, tx.lockID); err != nil {
-			return err
-		}
-		rt.serveQueue(oid, rt.policy.OnRelease(oid))
+// publishAll installs the committed write set at its new home (this node),
+// one migration batch per remote owner, and hands the freshly committed
+// objects to queued requesters. Locally owned writes update in place and
+// cost no messages. A failed entry frees its own commit lock so the object
+// is not wedged, but its already-published siblings stay published (the
+// paper's model assumes reliable delivery past the commit point).
+func (tx *Txn) publishAll(ctx context.Context, writes []object.ID, locked map[object.ID]transport.NodeID, newVer object.Version, meter *commitMeter) error {
+	if len(writes) == 0 {
 		return nil
 	}
+	rt := tx.rt
 
-	// Ownership migrates: the old owner surrenders the object and its
-	// requester queue (paper: "the node invoking the transaction receives
-	// Requester_Lists of each committed object").
-	body, err := rt.ep.Call(ctx, owner, KindCommitObject, commitObjReq{
-		Oid:      oid,
-		TxID:     tx.lockID,
-		NewVer:   ver,
-		NewValue: val,
-		NewOwner: rt.Self(),
-	})
-	if err != nil {
-		return fmt.Errorf("stm: commit migration of %q: %w", oid, err)
-	}
-	resp, ok := body.(commitObjResp)
-	if !ok {
-		return fmt.Errorf("stm: bad commit reply %T", body)
+	var pubErr error
+	groups := groupByOwner(writes, locked)
+	var calls []cluster.Outcall
+	var remote []ownerGroup
+	var local []object.ID
+	for _, g := range groups {
+		if g.owner == rt.Self() {
+			local = append(local, g.oids...)
+			continue
+		}
+		req := commitObjBatchReq{TxID: tx.lockID, NewVer: newVer, NewOwner: rt.Self(), Entries: make([]commitObjBatchEntry, len(g.oids))}
+		for j, oid := range g.oids {
+			req.Entries[j] = commitObjBatchEntry{Oid: oid, NewValue: tx.entries[oid].val}
+		}
+		calls = append(calls, cluster.Outcall{To: g.owner, Kind: KindCommitObjectBatch, Payload: req})
+		remote = append(remote, g)
 	}
 
-	rt.store.Install(oid, val.Copy(), ver)
-	if err := rt.locator.UpdateOwner(ctx, oid, rt.Self()); err != nil {
-		return fmt.Errorf("stm: ownership update of %q: %w", oid, err)
+	results := rt.ep.Broadcast(ctx, calls)
+	meter.wave(len(calls))
+
+	// migrated collects the objects whose old owner surrendered them; their
+	// home directories are updated in one more batched wave below.
+	var migrated []object.ID
+	for gi, res := range results {
+		g := remote[gi]
+		if res.Err != nil {
+			if debugCommit {
+				fmt.Printf("DBG publish-batch-err tx=%x owner=%d err=%v\n", tx.lockID, g.owner, res.Err)
+			}
+			tx.releaseGroup(ctx, g.owner, g.oids)
+			if pubErr == nil {
+				pubErr = fmt.Errorf("stm: commit migration at node %d: %w", g.owner, res.Err)
+			}
+			continue
+		}
+		resp, ok := res.Body.(commitObjBatchResp)
+		if !ok || len(resp.Results) != len(g.oids) {
+			tx.releaseGroup(ctx, g.owner, g.oids)
+			if pubErr == nil {
+				pubErr = fmt.Errorf("stm: bad commit batch reply %T", res.Body)
+			}
+			continue
+		}
+		for i, r := range resp.Results {
+			oid := g.oids[i]
+			if r.Err != "" {
+				// This entry's migration failed at the owner; at least free
+				// its lock so the object is not wedged.
+				tx.releaseGroup(ctx, g.owner, []object.ID{oid})
+				if pubErr == nil {
+					pubErr = fmt.Errorf("stm: commit migration of %q: %s", oid, r.Err)
+				}
+				continue
+			}
+			rt.store.Install(oid, tx.entries[oid].val.Copy(), newVer)
+			rt.policy.AdoptQueue(oid, r.Queue)
+			migrated = append(migrated, oid)
+		}
 	}
-	rt.policy.AdoptQueue(oid, resp.Queue)
-	rt.serveQueue(oid, rt.policy.OnRelease(oid))
-	return nil
+
+	if len(migrated) > 0 {
+		msgs, err := rt.locator.UpdateOwnerBatch(ctx, migrated, rt.Self())
+		meter.wave(msgs)
+		if err != nil && pubErr == nil {
+			pubErr = fmt.Errorf("stm: ownership update: %w", err)
+		}
+		if err == nil {
+			for _, oid := range migrated {
+				rt.serveQueue(oid, rt.policy.OnRelease(oid))
+			}
+		}
+	}
+
+	for _, oid := range local {
+		if err := rt.store.UpdateCommitted(oid, tx.entries[oid].val.Copy(), newVer, tx.lockID); err != nil {
+			if pubErr == nil {
+				pubErr = err
+			}
+			continue
+		}
+		rt.serveQueue(oid, rt.policy.OnRelease(oid))
+	}
+	return pubErr
+}
+
+// releaseGroup best-effort frees a slice of one owner's commit locks after
+// a publish failure.
+func (tx *Txn) releaseGroup(ctx context.Context, owner transport.NodeID, oids []object.ID) {
+	m := make(map[object.ID]transport.NodeID, len(oids))
+	for _, oid := range oids {
+		m[oid] = owner
+	}
+	tx.releaseLocks(ctx, m)
 }
 
 // detach returns a context that survives cancellation of ctx. RPCs issued

@@ -30,15 +30,12 @@ func TestCancelledCommitReleasesLocks(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Black-hole the lock request for "b": the committer locks "a"
-	// (sorted order), then stalls on "b" until its context dies.
+	// Black-hole acquire-batch REPLIES: the owner locks "a" and "b", but
+	// the committer never learns it and stalls until its context dies. Its
+	// conservative release (issued on a detached context) must then free
+	// the whole batch.
 	net.SetInterceptor(func(m *transport.Message) bool {
-		if m.Kind == KindAcquire && !m.IsReply {
-			if req, ok := m.Payload.(acquireReq); ok && req.Oid == "b" {
-				return false
-			}
-		}
-		return true
+		return !(m.Kind == KindAcquireBatch && m.IsReply)
 	})
 
 	txCtx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
@@ -54,11 +51,12 @@ func TestCancelledCommitReleasesLocks(t *testing.T) {
 	}
 	net.SetInterceptor(nil)
 
-	// The lock on "a" must have been released despite the dead context.
+	// The locks on "a" and "b" must have been released despite the dead
+	// context.
 	deadline := time.Now().Add(2 * time.Second)
-	for tc.rts[0].Store().Locked("a") {
+	for tc.rts[0].Store().Locked("a") || tc.rts[0].Store().Locked("b") {
 		if time.Now().After(deadline) {
-			t.Fatal("lock on \"a\" orphaned after cancelled commit")
+			t.Fatal("locks orphaned after cancelled commit")
 		}
 		time.Sleep(time.Millisecond)
 	}

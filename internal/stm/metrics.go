@@ -69,6 +69,8 @@ type Metrics struct {
 	pushes        atomic.Uint64 // objects handed to parked requesters
 	retrieves     atomic.Uint64 // object fetch RPCs issued
 	leaseExpiries atomic.Uint64 // commit locks force-released by the lease reaper
+	commitMsgs    atomic.Uint64 // messages sent by successful commit pipelines
+	commitRounds  atomic.Uint64 // parallel batch rounds those messages formed
 
 	// Per-outcome attempt latency: how long one top-level attempt ran
 	// before committing, or before aborting with each cause. The split
@@ -102,6 +104,12 @@ type MetricsSnapshot struct {
 	Pushes        uint64
 	Retrieves     uint64
 	LeaseExpiries uint64
+	// CommitMsgs counts the protocol messages issued by commit pipelines
+	// that reached the commit point; CommitRounds counts the parallel batch
+	// waves they formed. Their ratios to Commits are the paper-facing
+	// "msgs/commit" and "rounds/commit" of the owner-grouped pipeline.
+	CommitMsgs   uint64
+	CommitRounds uint64
 
 	// Latency maps outcome (LatencyCommitKey or an AbortCause string) to
 	// that outcome's attempt-latency histogram.
@@ -120,6 +128,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Pushes:        m.pushes.Load(),
 		Retrieves:     m.retrieves.Load(),
 		LeaseExpiries: m.leaseExpiries.Load(),
+		CommitMsgs:    m.commitMsgs.Load(),
+		CommitRounds:  m.commitRounds.Load(),
 	}
 	s.Latency = make(map[string]stats.HistSnapshot, int(numAbortCauses)+1)
 	s.Latency[LatencyCommitKey] = m.commitLatency.Snapshot()
@@ -137,6 +147,25 @@ func (s MetricsSnapshot) TotalAborts() uint64 {
 		t += v
 	}
 	return t
+}
+
+// MsgsPerCommit is the average number of commit-pipeline messages per
+// successful commit — the O(k) → O(m) headline of owner-grouped batching.
+// Returns 0 when nothing committed.
+func (s MetricsSnapshot) MsgsPerCommit() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return float64(s.CommitMsgs) / float64(s.Commits)
+}
+
+// RoundsPerCommit is the average number of parallel batch waves per
+// successful commit (each wave costs one round-trip to its slowest owner).
+func (s MetricsSnapshot) RoundsPerCommit() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return float64(s.CommitRounds) / float64(s.Commits)
 }
 
 // NestedAbortRate is Table I's metric: the fraction of nested-transaction
@@ -160,6 +189,8 @@ func (s *MetricsSnapshot) Merge(other MetricsSnapshot) {
 	s.Pushes += other.Pushes
 	s.Retrieves += other.Retrieves
 	s.LeaseExpiries += other.LeaseExpiries
+	s.CommitMsgs += other.CommitMsgs
+	s.CommitRounds += other.CommitRounds
 	if s.Aborts == nil {
 		s.Aborts = make(map[AbortCause]uint64, int(numAbortCauses))
 	}
@@ -188,6 +219,8 @@ func (s *MetricsSnapshot) Sub(base MetricsSnapshot) {
 	s.Pushes -= base.Pushes
 	s.Retrieves -= base.Retrieves
 	s.LeaseExpiries -= base.LeaseExpiries
+	s.CommitMsgs -= base.CommitMsgs
+	s.CommitRounds -= base.CommitRounds
 	for c, v := range base.Aborts {
 		if s.Aborts != nil {
 			s.Aborts[c] -= v

@@ -66,6 +66,8 @@ func fullyPopulated() MetricsSnapshot {
 	m.pushes.Add(8)
 	m.retrieves.Add(9)
 	m.leaseExpiries.Add(2)
+	m.commitMsgs.Add(15)
+	m.commitRounds.Add(12)
 	m.observeOutcome(true, 0, 3*time.Millisecond)
 	for c := AbortCause(0); c < numAbortCauses; c++ {
 		m.aborts[c].Add(uint64(c) + 1)

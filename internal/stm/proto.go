@@ -27,6 +27,15 @@ const (
 	KindPush transport.Kind = 15
 	// KindDecline tells an owner the pushed requester is gone (one-way).
 	KindDecline transport.Kind = 16
+	// KindAcquireBatch commit-locks a whole per-owner slice of the write
+	// set in one round trip (owner-grouped commit pipeline).
+	KindAcquireBatch transport.Kind = 17
+	// KindCheckVersionBatch validates a per-owner slice of read-set
+	// entries in one round trip.
+	KindCheckVersionBatch transport.Kind = 18
+	// KindCommitObjectBatch installs the new versions of a per-owner slice
+	// of the write set and migrates their ownership in one round trip.
+	KindCommitObjectBatch transport.Kind = 19
 )
 
 // retrieveReq is Open_Object's wire request: object ID, transaction ID, the
@@ -115,6 +124,84 @@ type commitObjResp struct {
 	Queue []sched.Request
 }
 
+// ---------------------------------------------------------------------------
+// Owner-grouped batch messages. The commit pipeline partitions a
+// transaction's write and read sets by owner and sends ONE message per
+// owner per phase, so a commit touching k objects on m owners costs O(m)
+// rounds instead of O(k). Every batch reply carries per-object results, so
+// one failed entry aborts the commit precisely (innermost attribution is
+// preserved on the requester side) while its sibling entries roll back.
+
+// verEntry is one (object, expected version) pair of a batch.
+type verEntry struct {
+	Oid object.ID
+	Ver object.Version
+}
+
+// acquireBatchReq commit-locks every entry at one owner for TxID. The
+// owner applies the batch atomically (all-or-nothing against its store):
+// either every entry is locked, or none is.
+type acquireBatchReq struct {
+	TxID    uint64
+	Entries []verEntry
+}
+
+// acquireBatchResp reports per-entry lock outcomes, parallel to the
+// request entries (object.LockResult values). Applied reports whether the
+// locks were actually taken; when false, no entry is locked at the owner —
+// the results identify which entries failed and how.
+type acquireBatchResp struct {
+	Results []uint8
+	Applied bool
+}
+
+// checkBatchReq validates every entry's version at one owner for the
+// committing transaction TxID (whose own locks do not invalidate it).
+type checkBatchReq struct {
+	TxID    uint64
+	Entries []verEntry
+}
+
+// checkBatchResult is one entry's validation outcome.
+type checkBatchResult struct {
+	OK       bool
+	NotOwner bool
+}
+
+// checkBatchResp carries per-entry outcomes, parallel to the request.
+type checkBatchResp struct {
+	Results []checkBatchResult
+}
+
+// commitObjBatchEntry is one object of a commit-migration batch.
+type commitObjBatchEntry struct {
+	Oid      object.ID
+	NewValue object.Value
+}
+
+// commitObjBatchReq installs the new committed versions at the old owner
+// and migrates ownership of every entry to NewOwner. All entries share the
+// commit-point version NewVer (one commit = one clock tick).
+type commitObjBatchReq struct {
+	TxID     uint64
+	NewVer   object.Version
+	NewOwner transport.NodeID
+	Entries  []commitObjBatchEntry
+}
+
+// commitObjBatchResult is one entry's migration outcome: the requester
+// queue surrendered with the object, or a per-entry error (empty = ok) so
+// one failed entry does not poison its siblings.
+type commitObjBatchResult struct {
+	Queue []sched.Request
+	Err   string
+}
+
+// commitObjBatchResp carries per-entry outcomes, parallel to the request.
+type commitObjBatchResp struct {
+	Results []commitObjBatchResult
+}
+
 // pushMsg hands a committed object to an enqueued requester. Owner is the
 // node now owning the object (where its commit lock will be taken next).
 type pushMsg struct {
@@ -146,4 +233,10 @@ func init() {
 	transport.RegisterPayload(commitObjResp{})
 	transport.RegisterPayload(pushMsg{})
 	transport.RegisterPayload(declineMsg{})
+	transport.RegisterPayload(acquireBatchReq{})
+	transport.RegisterPayload(acquireBatchResp{})
+	transport.RegisterPayload(checkBatchReq{})
+	transport.RegisterPayload(checkBatchResp{})
+	transport.RegisterPayload(commitObjBatchReq{})
+	transport.RegisterPayload(commitObjBatchResp{})
 }

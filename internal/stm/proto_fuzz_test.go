@@ -3,6 +3,7 @@ package stm
 import (
 	"bytes"
 	"encoding/gob"
+	"reflect"
 	"testing"
 	"time"
 
@@ -97,6 +98,81 @@ func FuzzCommitPushRoundTrip(f *testing.F) {
 		}
 		if got := roundTrip(t, push).(pushMsg); got != push {
 			t.Fatalf("pushMsg changed: %+v -> %+v", push, got)
+		}
+	})
+}
+
+// FuzzAcquireCheckBatchRoundTrip round-trips the owner-grouped lock and
+// validation batches. The per-entry result slices must survive verbatim and
+// stay parallel to the request entries: a shifted or truncated Results
+// slice would make the committer misattribute which entry refused the
+// batch (and hence which transaction to abort).
+func FuzzAcquireCheckBatchRoundTrip(f *testing.F) {
+	f.Add("obj/a", "obj/b", uint64(7), uint64(5), int32(1), byte(2), true, true, false)
+	f.Add("", "x", uint64(0), ^uint64(0), int32(-3), byte(0), false, false, true)
+	f.Fuzz(func(t *testing.T, oidA, oidB string, tx, verClock uint64, vnode int32,
+		lockRes byte, applied, ok, notOwner bool) {
+		entries := []verEntry{
+			{Oid: object.ID(oidA), Ver: object.Version{Clock: verClock, Node: vnode}},
+			{Oid: object.ID(oidB), Ver: object.Version{Clock: ^verClock, Node: -vnode}},
+		}
+
+		areq := acquireBatchReq{TxID: tx, Entries: entries}
+		if got := roundTrip(t, areq).(acquireBatchReq); !reflect.DeepEqual(got, areq) {
+			t.Fatalf("acquireBatchReq changed: %+v -> %+v", areq, got)
+		}
+		aresp := acquireBatchResp{Results: []uint8{lockRes, lockRes ^ 1}, Applied: applied}
+		if got := roundTrip(t, aresp).(acquireBatchResp); !reflect.DeepEqual(got, aresp) {
+			t.Fatalf("acquireBatchResp changed: %+v -> %+v", aresp, got)
+		}
+
+		creq := checkBatchReq{TxID: tx, Entries: entries}
+		if got := roundTrip(t, creq).(checkBatchReq); !reflect.DeepEqual(got, creq) {
+			t.Fatalf("checkBatchReq changed: %+v -> %+v", creq, got)
+		}
+		cresp := checkBatchResp{Results: []checkBatchResult{
+			{OK: ok, NotOwner: notOwner},
+			{OK: !ok, NotOwner: !notOwner},
+		}}
+		if got := roundTrip(t, cresp).(checkBatchResp); !reflect.DeepEqual(got, cresp) {
+			t.Fatalf("checkBatchResp changed: %+v -> %+v", cresp, got)
+		}
+	})
+}
+
+// FuzzCommitObjBatchRoundTrip round-trips the migration batch: the request
+// carrying every new value for one owner, and the reply whose per-entry
+// results mix surrendered requester queues with per-entry error strings.
+func FuzzCommitObjBatchRoundTrip(f *testing.F) {
+	f.Add("obj/x", "obj/y", uint64(3), uint64(17), int32(2), int64(-4), byte(1), int64(6e6), "")
+	f.Add("", "q", ^uint64(0), uint64(0), int32(-1), int64(0), byte(0), int64(-1), "store: gone")
+	f.Fuzz(func(t *testing.T, oidA, oidB string, tx, verClock uint64, newOwner int32,
+		val int64, qmode byte, qElapsed int64, errStr string) {
+		req := commitObjBatchReq{
+			TxID:     tx,
+			NewVer:   object.Version{Clock: verClock, Node: newOwner},
+			NewOwner: transport.NodeID(newOwner),
+			Entries: []commitObjBatchEntry{
+				{Oid: object.ID(oidA), NewValue: fuzzVal{X: val}},
+				{Oid: object.ID(oidB), NewValue: fuzzVal{X: -val}},
+			},
+		}
+		if got := roundTrip(t, req).(commitObjBatchReq); !reflect.DeepEqual(got, req) {
+			t.Fatalf("commitObjBatchReq changed: %+v -> %+v", req, got)
+		}
+
+		resp := commitObjBatchResp{Results: []commitObjBatchResult{
+			{Queue: []sched.Request{{
+				Oid: object.ID(oidA), TxID: tx, Node: transport.NodeID(newOwner),
+				Mode: sched.Mode(qmode), MyCL: int(newOwner),
+				Elapsed: time.Duration(qElapsed), ExpectedRemaining: time.Duration(-qElapsed),
+			}}},
+			{Err: errStr},
+		}}
+		got := roundTrip(t, resp).(commitObjBatchResp)
+		if len(got.Results) != 2 || !reflect.DeepEqual(got.Results[0].Queue, resp.Results[0].Queue) ||
+			got.Results[1].Err != errStr || got.Results[0].Err != "" {
+			t.Fatalf("commitObjBatchResp changed: %+v -> %+v", resp, got)
 		}
 	})
 }

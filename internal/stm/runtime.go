@@ -99,6 +99,9 @@ func NewRuntime(ep *cluster.Endpoint, size int, policy sched.Policy, st *stats.T
 	ep.Handle(KindAcquire, rt.handleAcquire)
 	ep.Handle(KindRelease, rt.handleRelease)
 	ep.Handle(KindCommitObject, rt.handleCommitObject)
+	ep.Handle(KindAcquireBatch, rt.handleAcquireBatch)
+	ep.Handle(KindCheckVersionBatch, rt.handleCheckVersionBatch)
+	ep.Handle(KindCommitObjectBatch, rt.handleCommitObjectBatch)
 	ep.HandleNotify(KindPush, rt.handlePush)
 	ep.HandleNotify(KindDecline, rt.handleDecline)
 	return rt
@@ -280,28 +283,95 @@ func (rt *Runtime) handleCommitObject(from transport.NodeID, payload any) (any, 
 	if !ok {
 		return nil, fmt.Errorf("stm: bad commit payload %T", payload)
 	}
-	// Ownership migrates to the committer: drop the local copy (requires
-	// the committer to hold the commit lock) and surrender the requester
-	// queue so scheduling state travels with the object.
-	if err := rt.store.Remove(req.Oid, req.TxID); err != nil {
-		// At-least-once delivery: if this transaction already migrated the
-		// object away (the reply was lost and the retransmission outlived
-		// the RPC dedup window), the removal is done — report success. The
-		// requester queue went with the first execution; an empty queue
-		// here only costs the parked requesters a backoff timeout.
+	queue, err := rt.migrateOut(req.Oid, req.TxID)
+	if err != nil {
+		return nil, err
+	}
+	return commitObjResp{Queue: queue}, nil
+}
+
+// migrateOut surrenders one object to the committing transaction tx:
+// ownership migrates to the committer, so drop the local copy (requires the
+// committer to hold the commit lock) and hand back the requester queue so
+// scheduling state travels with the object.
+//
+// At-least-once delivery: if tx already migrated the object away (the reply
+// was lost and the retransmission outlived the RPC dedup window), the
+// removal is done — report success. The requester queue went with the first
+// execution; an empty queue here only costs the parked requesters a backoff
+// timeout.
+func (rt *Runtime) migrateOut(oid object.ID, tx uint64) ([]sched.Request, error) {
+	if err := rt.store.Remove(oid, tx); err != nil {
 		rt.migrMu.Lock()
-		prior := rt.migrated[req.Oid]
+		prior := rt.migrated[oid]
 		rt.migrMu.Unlock()
-		if prior == req.TxID {
-			return commitObjResp{}, nil
+		if prior == tx {
+			return nil, nil
 		}
 		return nil, err
 	}
 	rt.migrMu.Lock()
-	rt.migrated[req.Oid] = req.TxID
+	rt.migrated[oid] = tx
 	rt.migrMu.Unlock()
-	queue := rt.policy.ExtractQueue(req.Oid)
-	return commitObjResp{Queue: queue}, nil
+	return rt.policy.ExtractQueue(oid), nil
+}
+
+// ---------------------------------------------------------------------------
+// Owner-grouped batch handlers: one message covers every object of a commit
+// that this node owns (O(owners) commit rounds instead of O(objects)).
+
+func (rt *Runtime) handleAcquireBatch(_ transport.NodeID, payload any) (any, error) {
+	req, ok := payload.(acquireBatchReq)
+	if !ok {
+		return nil, fmt.Errorf("stm: bad acquire batch payload %T", payload)
+	}
+	entries := make([]object.LockEntry, len(req.Entries))
+	for i, e := range req.Entries {
+		entries[i] = object.LockEntry{ID: e.Oid, Expect: e.Ver}
+	}
+	results, applied := rt.store.LockBatch(req.TxID, entries)
+	resp := acquireBatchResp{Results: make([]uint8, len(results)), Applied: applied}
+	for i, r := range results {
+		resp.Results[i] = uint8(r)
+	}
+	return resp, nil
+}
+
+func (rt *Runtime) handleCheckVersionBatch(_ transport.NodeID, payload any) (any, error) {
+	req, ok := payload.(checkBatchReq)
+	if !ok {
+		return nil, fmt.Errorf("stm: bad check batch payload %T", payload)
+	}
+	resp := checkBatchResp{Results: make([]checkBatchResult, len(req.Entries))}
+	for i, e := range req.Entries {
+		ver, lockedBy, owned := rt.store.State(e.Oid)
+		if !owned {
+			resp.Results[i] = checkBatchResult{NotOwner: true}
+			continue
+		}
+		// Same validity rule as handleCheckVersion: unchanged version AND not
+		// mid-commit by another transaction.
+		valid := ver.Equal(e.Ver) && (lockedBy == 0 || lockedBy == req.TxID)
+		resp.Results[i] = checkBatchResult{OK: valid}
+	}
+	return resp, nil
+}
+
+func (rt *Runtime) handleCommitObjectBatch(_ transport.NodeID, payload any) (any, error) {
+	req, ok := payload.(commitObjBatchReq)
+	if !ok {
+		return nil, fmt.Errorf("stm: bad commit batch payload %T", payload)
+	}
+	resp := commitObjBatchResp{Results: make([]commitObjBatchResult, len(req.Entries))}
+	for i, e := range req.Entries {
+		queue, err := rt.migrateOut(e.Oid, req.TxID)
+		if err != nil {
+			resp.Results[i].Err = err.Error()
+			continue
+		}
+		resp.Results[i].Queue = queue
+	}
+	return resp, nil
 }
 
 // serveQueue pushes the current (or given) object state to the requesters

@@ -4,13 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
+	"sort"
 	"time"
 
 	"dstm/internal/cc"
+	"dstm/internal/cluster"
 	"dstm/internal/object"
 	"dstm/internal/sched"
 	"dstm/internal/trace"
+	"dstm/internal/transport"
 )
 
 // abortError unwinds an aborting transaction to the level that must retry.
@@ -92,7 +94,9 @@ func (rt *Runtime) Atomic(ctx context.Context, name string, fn func(tx *Txn) err
 			entries:  make(map[object.ID]*objEntry),
 		}
 		tx.root = tx
-		rt.tracer.Emit(trace.Event{Type: trace.EvTxBegin, Tx: id, A: uint64(attempt)})
+		// B carries the attempt's lock identity so trace checkers can match
+		// owner-side lock events (keyed by lockID) to this attempt's fate.
+		rt.tracer.Emit(trace.Event{Type: trace.EvTxBegin, Tx: id, A: uint64(attempt), B: tx.lockID})
 
 		err := fn(tx)
 		if err == nil {
@@ -446,18 +450,17 @@ func (tx *Txn) forward(ctx context.Context, ownerClock uint64) error {
 }
 
 // validateChain re-checks every fetched entry along the nesting chain
-// against its owner's current version. Checks for independent objects run
-// concurrently; a stale entry aborts the innermost transaction holding it
-// (closed nesting partial abort) — when several entries are stale, the
-// outermost affected level wins, since its abort subsumes the others.
+// against its owner's current version, one batch message per owner. A stale
+// entry aborts the innermost transaction holding it (closed nesting partial
+// abort) — when several entries are stale, the outermost affected level
+// wins, since its abort subsumes the others.
 func (tx *Txn) validateChain(ctx context.Context) error {
 	type item struct {
-		oid   object.ID
-		ver   object.Version
 		level *Txn
 		depth int
 	}
 	var items []item
+	var entries []verEntry
 	depth := 0
 	for t := tx; t != nil; t = t.parent {
 		for oid, e := range t.entries {
@@ -470,7 +473,8 @@ func (tx *Txn) validateChain(ctx context.Context) error {
 				// level alone would re-read the same doomed snapshot.
 				level, d = tx.root, 1<<30
 			}
-			items = append(items, item{oid: oid, ver: e.ver, level: level, depth: d})
+			items = append(items, item{level: level, depth: d})
+			entries = append(entries, verEntry{Oid: oid, Ver: e.ver})
 		}
 		depth++
 	}
@@ -478,33 +482,17 @@ func (tx *Txn) validateChain(ctx context.Context) error {
 		return nil
 	}
 
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
+	oks, err := tx.checkVersions(ctx, entries, nil)
+	if err != nil {
+		return tx.convertErr(ctx, err, AbortValidation)
+	}
 	var staleTarget *Txn
 	staleDepth := -1
-	for _, it := range items {
-		wg.Add(1)
-		go func(it item) {
-			defer wg.Done()
-			ok, err := tx.checkVersion(ctx, it.oid, it.ver)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			if !ok && it.depth > staleDepth {
-				staleDepth = it.depth
-				staleTarget = it.level
-			}
-		}(it)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return tx.convertErr(ctx, firstErr, AbortValidation)
+	for i, ok := range oks {
+		if !ok && items[i].depth > staleDepth {
+			staleDepth = items[i].depth
+			staleTarget = items[i].level
+		}
 	}
 	if staleTarget != nil {
 		return &abortError{target: staleTarget, cause: AbortValidation}
@@ -512,42 +500,38 @@ func (tx *Txn) validateChain(ctx context.Context) error {
 	return nil
 }
 
-// validateOwn concurrently re-checks every non-created entry fetched at
-// this nesting level, aborting this level if any is stale (inner-commit
-// early validation).
+// validateOwn re-checks every non-created entry fetched at this nesting
+// level (one batch message per owner), aborting this level if any is stale
+// (inner-commit early validation).
 func (tx *Txn) validateOwn(ctx context.Context) error {
-	var firstErr error
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var staleOwn bool
-	var staleInherited []object.ID
+	var entries []verEntry
+	var inherited []bool
 	for oid, e := range tx.entries {
 		if e.created {
 			continue
 		}
-		wg.Add(1)
-		go func(oid object.ID, ver object.Version, inherited bool) {
-			defer wg.Done()
-			ok, err := tx.checkVersion(ctx, oid, ver)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			if err == nil && !ok {
-				if inherited {
-					staleInherited = append(staleInherited, oid)
-				} else {
-					staleOwn = true
-				}
-			}
-		}(oid, e.ver, e.inherited)
+		entries = append(entries, verEntry{Oid: oid, Ver: e.ver})
+		inherited = append(inherited, e.inherited)
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return tx.convertErr(ctx, firstErr, AbortValidation)
+	if len(entries) == 0 {
+		return nil
 	}
-	if len(staleInherited) > 0 {
+	oks, err := tx.checkVersions(ctx, entries, nil)
+	if err != nil {
+		return tx.convertErr(ctx, err, AbortValidation)
+	}
+	staleOwn, staleInherited := false, false
+	for i, ok := range oks {
+		if ok {
+			continue
+		}
+		if inherited[i] {
+			staleInherited = true
+		} else {
+			staleOwn = true
+		}
+	}
+	if staleInherited {
 		// The stale version was observed by an ancestor: retrying this
 		// inner transaction would re-read the same doomed snapshot forever
 		// (the classic partial-abort livelock). The enclosing snapshot is
@@ -560,70 +544,99 @@ func (tx *Txn) validateOwn(ctx context.Context) error {
 	return nil
 }
 
-// validateMany concurrently checks a set of this transaction's read
-// entries, aborting this level if any is stale.
-func (tx *Txn) validateMany(ctx context.Context, oids []object.ID) error {
+// validateMany checks a set of this transaction's read entries (one batch
+// message per owner), aborting the root if any is stale. The commit
+// pipeline's message meter accounts the batches (nil to skip accounting).
+func (tx *Txn) validateMany(ctx context.Context, oids []object.ID, meter *commitMeter) error {
 	if len(oids) == 0 {
 		return nil
 	}
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	stale := false
-	for _, oid := range oids {
-		wg.Add(1)
-		go func(oid object.ID) {
-			defer wg.Done()
-			e := tx.entries[oid]
-			ok, err := tx.checkVersion(ctx, oid, e.ver)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			if err == nil && !ok {
-				stale = true
-			}
-		}(oid)
+	entries := make([]verEntry, len(oids))
+	for i, oid := range oids {
+		entries[i] = verEntry{Oid: oid, Ver: tx.entries[oid].ver}
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return tx.convertErr(ctx, firstErr, AbortValidation)
+	oks, err := tx.checkVersions(ctx, entries, meter)
+	if err != nil {
+		return tx.convertErr(ctx, err, AbortValidation)
 	}
-	if stale {
-		return &abortError{target: tx.root, cause: AbortValidation}
+	for _, ok := range oks {
+		if !ok {
+			return &abortError{target: tx.root, cause: AbortValidation}
+		}
 	}
 	return nil
 }
 
-// checkVersion asks oid's owner whether the version is still current,
-// chasing stale owner hints.
-func (tx *Txn) checkVersion(ctx context.Context, oid object.ID, ver object.Version) (bool, error) {
+// checkVersions asks the owners of every entry whether its version is still
+// current, one batch message per owner per wave, chasing stale owner hints
+// in batches (hop-bounded). The result slice is parallel to entries; an
+// entry whose owner could not be pinned within maxOwnerHops reads as stale
+// (the movers committed new versions anyway). meter, when non-nil, accounts
+// the messages and waves into the commit pipeline's tally.
+func (tx *Txn) checkVersions(ctx context.Context, entries []verEntry, meter *commitMeter) ([]bool, error) {
 	rt := tx.rt
-	for hop := 0; hop < maxOwnerHops; hop++ {
-		owner, err := rt.locator.Locate(ctx, oid)
-		if err != nil {
-			return false, err
-		}
-		body, err := rt.ep.Call(ctx, owner, KindCheckVersion, checkReq{Oid: oid, Ver: ver, TxID: tx.root.lockID})
-		if err != nil {
-			return false, err
-		}
-		resp, ok := body.(checkResp)
-		if !ok {
-			return false, fmt.Errorf("stm: bad check reply %T", body)
-		}
-		if resp.NotOwner {
-			if _, err := rt.locator.Relocate(ctx, oid); err != nil {
-				return false, err
-			}
-			continue
-		}
-		return resp.OK, nil
+	oks := make([]bool, len(entries))
+	pending := make([]int, len(entries))
+	for i := range pending {
+		pending[i] = i
 	}
-	// The object moved more times than we are willing to chase: treat the
-	// entry as stale (the mover committed new versions anyway).
-	return false, nil
+	for hop := 0; hop < maxOwnerHops && len(pending) > 0; hop++ {
+		oids := make([]object.ID, len(pending))
+		for i, idx := range pending {
+			oids[i] = entries[idx].Oid
+		}
+		owners, msgs, err := rt.locator.LocateBatch(ctx, oids)
+		meter.wave(msgs)
+		if err != nil {
+			return nil, err
+		}
+
+		// Group the pending indices by owner, deterministically ordered.
+		byOwner := make(map[transport.NodeID][]int)
+		for _, idx := range pending {
+			o := owners[entries[idx].Oid]
+			byOwner[o] = append(byOwner[o], idx)
+		}
+		ownerList := make([]transport.NodeID, 0, len(byOwner))
+		for o := range byOwner {
+			ownerList = append(ownerList, o)
+		}
+		sort.Slice(ownerList, func(i, j int) bool { return ownerList[i] < ownerList[j] })
+		calls := make([]cluster.Outcall, len(ownerList))
+		for i, o := range ownerList {
+			req := checkBatchReq{TxID: tx.root.lockID, Entries: make([]verEntry, len(byOwner[o]))}
+			for j, idx := range byOwner[o] {
+				req.Entries[j] = entries[idx]
+			}
+			calls[i] = cluster.Outcall{To: o, Kind: KindCheckVersionBatch, Payload: req}
+		}
+		results := rt.ep.Broadcast(ctx, calls)
+		meter.wave(len(calls))
+
+		var next []int
+		for gi, res := range results {
+			group := byOwner[ownerList[gi]]
+			if res.Err != nil {
+				return nil, res.Err
+			}
+			resp, ok := res.Body.(checkBatchResp)
+			if !ok || len(resp.Results) != len(group) {
+				return nil, fmt.Errorf("stm: bad check batch reply %T", res.Body)
+			}
+			for i, r := range resp.Results {
+				idx := group[i]
+				if r.NotOwner {
+					rt.locator.InvalidateHint(entries[idx].Oid)
+					next = append(next, idx)
+					continue
+				}
+				oks[idx] = r.OK
+			}
+		}
+		sort.Ints(next)
+		pending = next
+	}
+	return oks, nil
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) bool {

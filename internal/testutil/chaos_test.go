@@ -110,7 +110,7 @@ func TestChaosBankRTSScheduler(t *testing.T) {
 // through the trace/check protocol oracle. Crashes take nodes off the
 // network but their recorders keep running, so the merged log is complete
 // and the stateful invariants (lock exclusion, hand-off head rule, park
-// closure, lease-expiry safety) must all hold.
+// closure, lease-expiry safety, batch atomicity) must all hold.
 func TestChaosTraceProtocolCheck(t *testing.T) {
 	opts := chaosOpts()
 	opts.Seed = 47
@@ -136,6 +136,65 @@ func TestChaosTraceProtocolCheck(t *testing.T) {
 		t.Fatalf("protocol check failed over %d events:\n%v", rep.TraceEvents, rep.ProtocolErr)
 	}
 	t.Logf("protocol check ok over %d events (lease-expiries=%d)", rep.TraceEvents, rep.Metrics.LeaseExpiries)
+}
+
+// TestChaosDHTTraceBatchAtomicity stresses the owner-grouped commit
+// pipeline where it is most batched — DHT transactions write several
+// buckets spread over every node — at 20% loss with crash cycling, then
+// replays the merged trace through the oracle. The batch-atomicity
+// invariant is the target: an acquire batch refused (or a commit aborted)
+// part-way must leave NO subset of its commit locks held once the aborted
+// attempt's release round has drained, so at trace end no lock may still
+// belong to an aborted attempt.
+func TestChaosDHTTraceBatchAtomicity(t *testing.T) {
+	opts := chaosOpts()
+	opts.Seed = 53
+	opts.Drop = 0.20
+	opts.Trace = true
+	opts.TraceCap = 1 << 20
+	cc := NewChaosCluster(t, opts)
+	rep, err := cc.Run(context.Background(), dht.New(dht.Options{BucketsPerNode: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireChaosHappened(t, rep)
+	if rep.TraceEvents == 0 {
+		t.Fatal("tracing enabled but no events recorded")
+	}
+	if rep.TraceDropped != 0 {
+		t.Fatalf("ring wrapped (%d dropped) — raise TraceCap so the batch-atomicity check runs", rep.TraceDropped)
+	}
+	if rep.ProtocolErr != nil {
+		t.Fatalf("protocol check failed over %d events:\n%v", rep.TraceEvents, rep.ProtocolErr)
+	}
+	t.Logf("protocol + batch-atomicity check ok over %d events", rep.TraceEvents)
+}
+
+// TestChaosBankTraceBatchAtomicity repeats the batch-atomicity trace run on
+// the bank workload with the RTS scheduler at the base 15% loss: transfers
+// are two-object batches whose acquire/release pairs the oracle can match
+// exactly, complementing the wider DHT batches above.
+func TestChaosBankTraceBatchAtomicity(t *testing.T) {
+	opts := chaosOpts()
+	opts.Seed = 61
+	opts.Trace = true
+	opts.TraceCap = 1 << 20
+	opts.MkPolicy = func() sched.Policy { return core.New(core.Options{CLThreshold: 3}) }
+	// Without a short lease a crashed committer wedges its hot accounts for
+	// the whole run; the resulting retry storm can wrap any trace ring.
+	opts.LockLease = 400 * time.Millisecond
+	cc := NewChaosCluster(t, opts)
+	rep, err := cc.Run(context.Background(), bank.New(bank.Options{AccountsPerNode: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireChaosHappened(t, rep)
+	if rep.TraceDropped != 0 {
+		t.Fatalf("ring wrapped (%d dropped) — raise TraceCap so the batch-atomicity check runs", rep.TraceDropped)
+	}
+	if rep.ProtocolErr != nil {
+		t.Fatalf("protocol check failed over %d events:\n%v", rep.TraceEvents, rep.ProtocolErr)
+	}
 }
 
 // TestChaosSoakBankHeavyLoss is the soak: 20% drop with aggressive crash

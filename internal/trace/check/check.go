@@ -19,10 +19,15 @@
 //   - I5 lease-expiry safety: a lease expiry only fires for the
 //     transaction currently holding the lock (never after its release);
 //   - I6 reply correlation: every reply received was solicited — its
-//     (peer, correlation) pair matches an earlier outgoing request.
+//     (peer, correlation) pair matches an earlier outgoing request;
+//   - I7 batch atomicity: at trace end, no commit lock is still held by an
+//     attempt that aborted — an owner-grouped acquire batch is applied
+//     all-or-nothing, so a failed commit must leave NO subset of its batch
+//     locked once its releases have drained (checked at end-of-trace
+//     because an abort and its owner-side release can carry tied clocks).
 //
-// I1, I3, I4, I5 and I6 are stateful: they reconstruct queues, locks and
-// parked waiters from the trace, so they are only sound over a complete
+// I1, I3, I4, I5, I6 and I7 are stateful: they reconstruct queues, locks
+// and parked waiters from the trace, so they are only sound over a complete
 // trace. When any recorder dropped events (ring wrap), run with
 // Options.Truncated — the stateful invariants are skipped and only I2 is
 // checked.
@@ -31,6 +36,7 @@ package check
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"dstm/internal/object"
@@ -129,6 +135,13 @@ type checker struct {
 	sent map[corrKey]bool // outgoing request correlations
 
 	forwarded map[uint64]uint64 // tx → highest forwarded start clock
+
+	// Batch atomicity: lock events are keyed by the attempt's lock identity
+	// (fresh per retry), which EvTxBegin carries in B; an abort dooms the
+	// current attempt's identity.
+	curLock     map[uint64]uint64      // root tx → current attempt's lock identity
+	abortedLock map[uint64]bool        // lock identities whose attempt aborted
+	lastAcquire map[lockKey]trace.Event // latest grant per lock, for reporting
 }
 
 // Run replays a merged trace (see trace.Merge) and reports violations.
@@ -146,12 +159,15 @@ func Run(events []trace.Event, opts Options) *Report {
 		groupPre:  make(map[lockKey][]queueEntry),
 		parked:    make(map[parkKey]trace.Event),
 		timedOut:  make(map[uint64]trace.Event),
-		sent:      make(map[corrKey]bool),
-		forwarded: make(map[uint64]uint64),
+		sent:        make(map[corrKey]bool),
+		forwarded:   make(map[uint64]uint64),
+		curLock:     make(map[uint64]uint64),
+		abortedLock: make(map[uint64]bool),
+		lastAcquire: make(map[lockKey]trace.Event),
 	}
 	c.rep.Events = len(events)
 	if opts.Truncated {
-		c.rep.Skipped = []string{"lock-exclusion", "handoff-head", "park-closure", "lease-expiry", "reply-correlation"}
+		c.rep.Skipped = []string{"lock-exclusion", "handoff-head", "park-closure", "lease-expiry", "reply-correlation", "batch-atomicity"}
 	}
 	for _, e := range events {
 		c.step(e)
@@ -222,6 +238,15 @@ func (c *checker) step(e trace.Event) {
 	case trace.EvParkTimeout:
 		c.resolvePark(e, "timeout")
 		c.timedOut[e.Tx] = e
+	case trace.EvTxBegin:
+		if e.B != 0 {
+			if prev := c.curLock[e.Tx]; prev != 0 && prev != e.B {
+				// A fresh attempt means the previous one ended without
+				// committing (a commit would have ended the retry loop).
+				c.abortedLock[prev] = true
+			}
+			c.curLock[e.Tx] = e.B
+		}
 	case trace.EvTxAbort:
 		if to, ok := c.timedOut[e.Tx]; ok {
 			if e.Detail != "queue-timeout" {
@@ -231,12 +256,17 @@ func (c *checker) step(e trace.Event) {
 			}
 			delete(c.timedOut, e.Tx)
 		}
+		if l := c.curLock[e.Tx]; l != 0 {
+			c.abortedLock[l] = true
+			delete(c.curLock, e.Tx)
+		}
 	case trace.EvTxCommit:
 		if to, ok := c.timedOut[e.Tx]; ok {
 			c.violate("park-closure", e,
 				"tx %x committed despite a park timeout at seq %d", e.Tx, to.Seq)
 			delete(c.timedOut, e.Tx)
 		}
+		delete(c.curLock, e.Tx)
 
 	case trace.EvMsgSend:
 		if e.Corr != 0 && e.Detail != "reply" {
@@ -255,10 +285,33 @@ func (c *checker) step(e trace.Event) {
 
 // finish flushes trailing state. Open parks at trace end are legal (the run
 // window closed with requesters still waiting), as are pending timeouts
-// whose abort event had not been emitted yet.
+// whose abort event had not been emitted yet. Locks still held by an
+// ABORTED attempt are not legal: the abort's release RPCs completed before
+// the abort event was emitted, so once the trace ends no fragment of the
+// aborted attempt's (all-or-nothing) batches may remain locked (I7).
 func (c *checker) finish() {
 	for k := range c.groupEvs {
 		c.flushGroup(k)
+	}
+	if c.opts.Truncated {
+		return
+	}
+	var leaked []lockKey
+	for k, holder := range c.locks {
+		if holder != 0 && c.abortedLock[holder] {
+			leaked = append(leaked, k)
+		}
+	}
+	sort.Slice(leaked, func(i, j int) bool {
+		if leaked[i].node != leaked[j].node {
+			return leaked[i].node < leaked[j].node
+		}
+		return leaked[i].oid < leaked[j].oid
+	})
+	for _, k := range leaked {
+		c.violate("batch-atomicity", c.lastAcquire[k],
+			"%s at node %d still commit-locked by aborted attempt %x at trace end",
+			k.oid, k.node, c.locks[k])
 	}
 }
 
@@ -290,6 +343,7 @@ func (c *checker) lockAcquire(e trace.Event) {
 			"%s at node %d granted to tx %x while held by tx %x", e.Oid, e.Node, e.Tx, cur)
 	}
 	c.locks[k] = e.Tx
+	c.lastAcquire[k] = e
 }
 
 func (c *checker) lockRelease(e trace.Event) {

@@ -59,6 +59,16 @@ func golden() []trace.Event {
 		ev(2, 7, trace.EvPark, func(e *trace.Event) { e.Tx = 0x1B; e.Oid = "obj/y"; e.A = 5e5 }),
 		ev(2, 8, trace.EvParkTimeout, func(e *trace.Event) { e.Tx = 0x1B; e.Oid = "obj/y" }),
 		ev(2, 8, trace.EvTxAbort, func(e *trace.Event) { e.Tx = 0x1B; e.Detail = "queue-timeout" }),
+
+		// An aborted commit attempt whose owner-grouped batch locked two
+		// objects under the attempt's lock identity 0x2A1 (EvTxBegin.B);
+		// both locks are freed before the abort, so batch atomicity holds.
+		ev(2, 9, trace.EvTxBegin, func(e *trace.Event) { e.Tx = 0x2A; e.A = 1; e.B = 0x2A1 }),
+		ev(0, 9, trace.EvLockAcquire, func(e *trace.Event) { e.Tx = 0x2A1; e.Oid = "obj/p" }),
+		ev(0, 9, trace.EvLockAcquire, func(e *trace.Event) { e.Tx = 0x2A1; e.Oid = "obj/q" }),
+		ev(0, 10, trace.EvLockRelease, func(e *trace.Event) { e.Tx = 0x2A1; e.Oid = "obj/p"; e.Detail = "unlock" }),
+		ev(0, 10, trace.EvLockRelease, func(e *trace.Event) { e.Tx = 0x2A1; e.Oid = "obj/q"; e.Detail = "unlock" }),
+		ev(2, 10, trace.EvTxAbort, func(e *trace.Event) { e.Tx = 0x2A; e.Detail = "lock-failed" }),
 	}
 }
 
@@ -228,6 +238,56 @@ func TestOracleFlagsUnsolicitedReply(t *testing.T) {
 		return append(evs, bad)
 	})
 	expectViolation(t, evs, "reply-correlation")
+}
+
+func TestOracleFlagsPartialBatchAfterAbort(t *testing.T) {
+	evs := mutate(t, func(evs []trace.Event) []trace.Event {
+		// Drop obj/q's release: the aborted attempt leaves half its
+		// (all-or-nothing) acquire batch locked at trace end.
+		out := evs[:0]
+		for _, e := range evs {
+			if e.Type == trace.EvLockRelease && e.Tx == 0x2A1 && e.Oid == "obj/q" {
+				continue
+			}
+			out = append(out, e)
+		}
+		return out
+	})
+	expectViolation(t, evs, "batch-atomicity")
+}
+
+func TestOracleFlagsLeakFromSupersededAttempt(t *testing.T) {
+	// No explicit abort event this time: the retry's EvTxBegin (same root,
+	// fresh lock identity) proves the first attempt ended without
+	// committing, so its leaked lock must still be flagged.
+	evs := mutate(t, func(evs []trace.Event) []trace.Event {
+		out := make([]trace.Event, 0, len(evs))
+		for _, e := range evs {
+			if e.Type == trace.EvLockRelease && e.Tx == 0x2A1 && e.Oid == "obj/q" {
+				continue
+			}
+			if e.Type == trace.EvTxAbort && e.Tx == 0x2A {
+				e = trace.Event{Node: 2, Seq: 1000, Clock: e.Clock, Type: trace.EvTxBegin, Tx: 0x2A, A: 2, B: 0x2A2}
+			}
+			out = append(out, e)
+		}
+		return out
+	})
+	expectViolation(t, evs, "batch-atomicity")
+}
+
+func TestOracleAcceptsLockHeldByLiveAttempt(t *testing.T) {
+	// A lock still held at trace end by an attempt that never aborted (the
+	// run window simply closed mid-commit) is legal.
+	evs := mutate(t, func(evs []trace.Event) []trace.Event {
+		return append(evs,
+			trace.Event{Node: 2, Seq: 1001, Clock: 11, Type: trace.EvTxBegin, Tx: 0x3A, A: 1, B: 0x3A1},
+			trace.Event{Node: 0, Seq: 1001, Clock: 11, Type: trace.EvLockAcquire, Tx: 0x3A1, Oid: "obj/p"},
+		)
+	})
+	if err := Run(evs, Options{}).Err(); err != nil {
+		t.Fatalf("mid-commit lock at trace end must pass: %v", err)
+	}
 }
 
 func TestOracleSkipsStatefulChecksWhenTruncated(t *testing.T) {

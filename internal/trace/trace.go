@@ -37,7 +37,10 @@ type EventType string
 
 // Transaction lifecycle (requester node).
 const (
-	// EvTxBegin starts one attempt of a root transaction. A = attempt number.
+	// EvTxBegin starts one attempt of a root transaction. A = attempt
+	// number; B = the attempt's lock identity (fresh per retry), matching
+	// the Tx of owner-side lock events so checkers can tie a held lock to
+	// its attempt's fate.
 	EvTxBegin EventType = "tx-begin"
 	// EvTxCommit is a root transaction's successful commit.
 	EvTxCommit EventType = "tx-commit"

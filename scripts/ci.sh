@@ -38,6 +38,12 @@ fi
 echo "== go test -race ./..."
 go test -race ./...
 
+# Commit-pipeline perf smoke: an 8-object transaction spread over 2 owners
+# must finish its commit phases within the owner-grouped batch bound
+# (per-owner rounds, not per-object messages).
+echo "== commit-pipeline msgs/commit bound"
+go test ./internal/stm/ -run TestCommitMsgsBoundEightObjectsTwoOwners -count=1
+
 if [ "$CI_FUZZTIME" != 0 ]; then
     echo "== fuzz targets (${CI_FUZZTIME} each)"
     go test ./internal/trace/ -fuzz FuzzReadJSONL -fuzztime "$CI_FUZZTIME"
@@ -46,6 +52,9 @@ if [ "$CI_FUZZTIME" != 0 ]; then
     go test ./internal/transport/ -fuzz FuzzMessageGobDecode -fuzztime "$CI_FUZZTIME"
     go test ./internal/stm/ -fuzz FuzzRetrieveRoundTrip -fuzztime "$CI_FUZZTIME"
     go test ./internal/stm/ -fuzz FuzzCommitPushRoundTrip -fuzztime "$CI_FUZZTIME"
+    go test ./internal/stm/ -fuzz FuzzAcquireCheckBatchRoundTrip -fuzztime "$CI_FUZZTIME"
+    go test ./internal/stm/ -fuzz FuzzCommitObjBatchRoundTrip -fuzztime "$CI_FUZZTIME"
+    go test ./internal/cc/ -fuzz FuzzDirectoryBatchRoundTrip -fuzztime "$CI_FUZZTIME"
 fi
 
 echo "CI OK"
