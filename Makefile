@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 3s
 COV_FLOOR ?= 70
 
-.PHONY: all build vet test cover race fuzz bench verify clean
+.PHONY: all build vet test cover race fuzz bench bench-stability verify clean
 
 all: verify
 
@@ -51,6 +51,15 @@ verify: vet build cover race fuzz
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 	$(GO) run ./cmd/rtsbench -benchjson results/BENCH_commit.json -duration 150ms -nodes 4 -bench bank,dht
+
+# bench-stability runs the open-loop queue-stability sweep — scheduler ×
+# skew (uniform/zipf/storm) × arrival (poisson at each rate + adversarial
+# conflict-window) over bank/list/DHT — and writes the per-cell offered vs
+# completed load, makespan, queue-depth series, sojourn p50/p99/p999 and
+# stability verdict to results/BENCH_stability.json.
+bench-stability:
+	$(GO) run ./cmd/rtsbench -experiment stability -bench bank,ll,dht \
+		-nodes 4 -duration 150ms -stabilityjson results/BENCH_stability.json
 
 clean:
 	$(GO) clean ./...

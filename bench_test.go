@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dstm/internal/harness"
+	"dstm/internal/workload"
 )
 
 // benchCfg is the shared scaled-down experiment cell.
@@ -34,6 +35,21 @@ func benchCfg() harness.Config {
 		CLThreshold:    3,
 		Seed:           1,
 	}
+}
+
+// contentionCfg is benchCfg pointed at one (benchmark, scheduler, read
+// ratio) cell — the combination every table, figure, and ablation varies.
+func contentionCfg(bench harness.BenchmarkKind, s harness.Scheduler, readRatio float64) harness.Config {
+	cfg := benchCfg()
+	cfg.Benchmark = bench
+	cfg.Scheduler = s
+	cfg.ReadRatio = readRatio
+	return cfg
+}
+
+// highContention is the write-heavy mix (10% reads) the ablations use.
+func highContention(bench harness.BenchmarkKind, s harness.Scheduler) harness.Config {
+	return contentionCfg(bench, s, harness.High.ReadRatio())
 }
 
 func reportCell(b *testing.B, res harness.Result) {
@@ -67,11 +83,7 @@ func BenchmarkTable1(b *testing.B) {
 				name := fmt.Sprintf("%s/%s/%s", harness.BenchmarkLabel(bench), cont, s)
 				b.Run(name, func(b *testing.B) {
 					for i := 0; i < b.N; i++ {
-						cfg := benchCfg()
-						cfg.Benchmark = bench
-						cfg.Scheduler = s
-						cfg.ReadRatio = cont.ReadRatio()
-						res := runCell(b, cfg)
+						res := runCell(b, contentionCfg(bench, s, cont.ReadRatio()))
 						reportCell(b, res)
 						b.ReportMetric(100*res.NestedAbortRate(), "nestedPar%")
 					}
@@ -92,10 +104,7 @@ func figBench(b *testing.B, bench harness.BenchmarkKind, cont harness.Contention
 		for _, s := range harness.Schedulers {
 			b.Run(fmt.Sprintf("nodes=%d/%s", n, s), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					cfg := benchCfg()
-					cfg.Benchmark = bench
-					cfg.Scheduler = s
-					cfg.ReadRatio = cont.ReadRatio()
+					cfg := contentionCfg(bench, s, cont.ReadRatio())
 					cfg.Nodes = n
 					reportCell(b, runCell(b, cfg))
 				}
@@ -145,6 +154,37 @@ func BenchmarkFig6_Speedup(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Key skew — throughput under the workload package's key distributions.
+
+// BenchmarkSkew_KeyDistributions runs the closed-loop high-contention bank
+// cell under each key distribution: uniform, Zipfian (theta 0.9) and the
+// rotating hot-key storm. The spread between RTS and TFA widens as the
+// skew concentrates conflicts onto fewer objects — the regime the
+// stability experiment (cmd/rtsbench -experiment stability) probes with
+// open-loop arrivals.
+func BenchmarkSkew_KeyDistributions(b *testing.B) {
+	samplers := []struct {
+		name string
+		mk   func() workload.KeySampler
+	}{
+		{"uniform", func() workload.KeySampler { return workload.NewUniform() }},
+		{"zipf-0.9", func() workload.KeySampler { return workload.NewZipf(0.9) }},
+		{"storm", func() workload.KeySampler { return workload.NewHotKeyStorm(2, 0.9, 64) }},
+	}
+	for _, sk := range samplers {
+		for _, s := range []harness.Scheduler{harness.SchedRTS, harness.SchedTFA} {
+			b.Run(fmt.Sprintf("%s/%s", sk.name, s), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cfg := highContention(harness.BenchBank, s)
+					cfg.KeySampler = sk.mk()
+					reportCell(b, runCell(b, cfg))
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Ablations.
 
 // BenchmarkAblation_CLThreshold sweeps RTS's contention-level threshold
@@ -154,10 +194,8 @@ func BenchmarkAblation_CLThreshold(b *testing.B) {
 	for _, thr := range []int{1, 2, 3, 5, 8, 16} {
 		b.Run(fmt.Sprintf("threshold=%d", thr), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cfg := benchCfg()
-				cfg.Benchmark = harness.BenchBank
-				cfg.Scheduler = harness.SchedRTS
-				cfg.ReadRatio = 0.1 // high contention exposes the peak
+				// High contention exposes the peak.
+				cfg := highContention(harness.BenchBank, harness.SchedRTS)
 				cfg.CLThreshold = thr
 				reportCell(b, runCell(b, cfg))
 			}
@@ -165,10 +203,7 @@ func BenchmarkAblation_CLThreshold(b *testing.B) {
 	}
 	b.Run("adaptive", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			cfg := benchCfg()
-			cfg.Benchmark = harness.BenchBank
-			cfg.Scheduler = harness.SchedRTS
-			cfg.ReadRatio = 0.1
+			cfg := highContention(harness.BenchBank, harness.SchedRTS)
 			cfg.AdaptiveCL = true
 			reportCell(b, runCell(b, cfg))
 		}
@@ -181,10 +216,7 @@ func BenchmarkAblation_CLThreshold(b *testing.B) {
 func BenchmarkAblation_QueuePolicy(b *testing.B) {
 	run := func(b *testing.B, s harness.Scheduler, thr int) {
 		for i := 0; i < b.N; i++ {
-			cfg := benchCfg()
-			cfg.Benchmark = harness.BenchBank
-			cfg.Scheduler = s
-			cfg.ReadRatio = 0.1
+			cfg := highContention(harness.BenchBank, s)
 			if thr > 0 {
 				cfg.CLThreshold = thr
 			}
@@ -209,10 +241,7 @@ func BenchmarkAblation_Nesting(b *testing.B) {
 			}
 			b.Run(fmt.Sprintf("%s/%s", s, mode), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					cfg := benchCfg()
-					cfg.Benchmark = harness.BenchBank
-					cfg.Scheduler = s
-					cfg.ReadRatio = 0.1
+					cfg := highContention(harness.BenchBank, s)
 					cfg.FlatNesting = flat
 					reportCell(b, runCell(b, cfg))
 				}
@@ -228,11 +257,7 @@ func BenchmarkAblation_BackoffSource(b *testing.B) {
 	for _, s := range []harness.Scheduler{harness.SchedTFA, harness.SchedBackoff} {
 		b.Run(string(s), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cfg := benchCfg()
-				cfg.Benchmark = harness.BenchVacation
-				cfg.Scheduler = s
-				cfg.ReadRatio = 0.1
-				reportCell(b, runCell(b, cfg))
+				reportCell(b, runCell(b, highContention(harness.BenchVacation, s)))
 			}
 		})
 	}

@@ -7,6 +7,7 @@
 //	rtsbench -experiment fig4                   # Fig. 4 (low contention)
 //	rtsbench -experiment fig5                   # Fig. 5 (high contention)
 //	rtsbench -experiment speedup                # Fig. 6 summary
+//	rtsbench -experiment stability              # open-loop queue-stability sweep
 //	rtsbench -experiment all
 //
 // Flags tune scale: -nodes, -maxnodes, -duration, -workers, -objects,
@@ -53,6 +54,12 @@ func main() {
 		scheduler  = flag.String("scheduler", "RTS", "scheduler for -experiment cell (RTS | TFA | TFA+Backoff)")
 		readRatio  = flag.Float64("readratio", 0.9, "read fraction for -experiment cell")
 		benchJSON  = flag.String("benchjson", "", "run the commit-pipeline benchmark and write its JSON report (throughput, msgs/commit, commit-latency p50/p99 per scheduler) to this file, then exit")
+
+		stabilityJSON = flag.String("stabilityjson", "results/BENCH_stability.json", "output path for -experiment stability")
+		rates         = flag.String("rates", "300,900", "comma-separated offered arrival rates (tx/s) for -experiment stability")
+		arrivals      = flag.String("arrivals", "poisson,window", "comma-separated arrival processes for -experiment stability (constant|poisson|burst|window)")
+		skews         = flag.String("skews", "uniform,zipf,storm", "comma-separated key distributions for -experiment stability (uniform|zipf|storm)")
+		failDiverging = flag.Bool("faildiverging", false, "exit non-zero when any RTS stability cell reports a diverging queue")
 	)
 	flag.Parse()
 
@@ -99,6 +106,9 @@ func main() {
 	switch *experiment {
 	case "cell":
 		err = runCell(ctx, base, benches, harness.Scheduler(*scheduler), *readRatio)
+	case "stability":
+		err = runStability(ctx, base, benches, *readRatio, *skews, *arrivals, *rates,
+			*stabilityJSON, *failDiverging)
 	case "table1":
 		err = runTable1(ctx, base, benches)
 	case "fig4":

@@ -1,0 +1,277 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dstm/internal/harness"
+	"dstm/internal/workload"
+)
+
+// stabilityRow is one (scheduler, benchmark, skew, arrival) cell of the
+// open-loop stability report.
+type stabilityRow struct {
+	Scheduler string `json:"scheduler"`
+	Benchmark string `json:"benchmark"`
+	Skew      string `json:"skew"`
+	Arrival   string `json:"arrival"`
+	// TargetRateTPS is the arrival process's configured mean rate.
+	TargetRateTPS float64 `json:"target_rate_tps"`
+	Ops           int     `json:"ops"`
+
+	Offered   uint64 `json:"offered"`
+	Shed      uint64 `json:"shed"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Commits   uint64 `json:"commits"`
+	Aborts    uint64 `json:"aborts"`
+
+	OfferedRateTPS   float64 `json:"offered_rate_tps"`
+	CompletedRateTPS float64 `json:"completed_rate_tps"`
+	CompletionRatio  float64 `json:"completion_ratio"`
+	MakespanMs       float64 `json:"makespan_ms"`
+	Verdict          string  `json:"verdict"`
+
+	SojournP50Ns  int64 `json:"sojourn_p50_ns"`
+	SojournP99Ns  int64 `json:"sojourn_p99_ns"`
+	SojournP999Ns int64 `json:"sojourn_p999_ns"`
+
+	QueuePeak      int `json:"queue_peak"`
+	SchedQueuePeak int `json:"sched_queue_peak"`
+
+	// Queue is the sampled depth time series for the cell.
+	Queue []harness.QueueSample `json:"queue"`
+}
+
+// stabilityDoc is the whole BENCH_stability.json document.
+type stabilityDoc struct {
+	Experiment     string         `json:"experiment"`
+	Nodes          int            `json:"nodes"`
+	WorkersPerNode int            `json:"workers_per_node"`
+	ObjectsPerNode int            `json:"objects_per_node"`
+	DurationMs     int64          `json:"duration_ms"`
+	ReadRatio      float64        `json:"read_ratio"`
+	Seed           int64          `json:"seed"`
+	Rows           []stabilityRow `json:"rows"`
+}
+
+// arrivalSpec is one arrival-process point of the sweep.
+type arrivalSpec struct {
+	name string
+	rate float64
+	mk   func() workload.Arrival
+}
+
+// parseArrivals expands the -arrivals kinds over the -rates list. The
+// rate-driven processes (constant, poisson, burst) get one spec per rate;
+// the adversarial conflict-window process sizes its period so the mean
+// offered rate matches, with bursts of 8 timed to land together inside
+// commit lock windows.
+func parseArrivals(kinds string, rates []float64) ([]arrivalSpec, error) {
+	var out []arrivalSpec
+	for _, k := range strings.Split(kinds, ",") {
+		k = strings.TrimSpace(k)
+		for _, r := range rates {
+			r := r
+			switch k {
+			case "constant":
+				out = append(out, arrivalSpec{"constant", r,
+					func() workload.Arrival { return workload.NewConstant(r) }})
+			case "poisson":
+				out = append(out, arrivalSpec{"poisson", r,
+					func() workload.Arrival { return workload.NewPoisson(r) }})
+			case "burst":
+				// 2× the rate half the time: same mean, on/off duty cycle.
+				out = append(out, arrivalSpec{"burst", r, func() workload.Arrival {
+					return workload.NewBurst(2*r, 5*time.Millisecond, 5*time.Millisecond)
+				}})
+			case "window":
+				// Bursts of 8 back-to-back arrivals every 8/rate seconds.
+				out = append(out, arrivalSpec{"window", r, func() workload.Arrival {
+					period := time.Duration(8 / r * float64(time.Second))
+					return workload.NewConflictWindow(period, 8)
+				}})
+			default:
+				return nil, fmt.Errorf("unknown arrival kind %q (constant|poisson|burst|window)", k)
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseSkews maps the -skews list to sampler constructors. A fresh
+// sampler is built per cell so storm's rotation counter and zipf's zeta
+// cache never leak state across cells.
+func parseSkews(s string) ([]struct {
+	name string
+	mk   func() workload.KeySampler
+}, error) {
+	var out []struct {
+		name string
+		mk   func() workload.KeySampler
+	}
+	for _, k := range strings.Split(s, ",") {
+		k = strings.TrimSpace(k)
+		var mk func() workload.KeySampler
+		switch k {
+		case "uniform":
+			mk = func() workload.KeySampler { return workload.NewUniform() }
+		case "zipf":
+			mk = func() workload.KeySampler { return workload.NewZipf(0.9) }
+		case "storm":
+			mk = func() workload.KeySampler { return workload.NewHotKeyStorm(2, 0.9, 64) }
+		default:
+			return nil, fmt.Errorf("unknown skew %q (uniform|zipf|storm)", k)
+		}
+		out = append(out, struct {
+			name string
+			mk   func() workload.KeySampler
+		}{k, mk})
+	}
+	return out, nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad rate %q", part)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// runStability sweeps scheduler × skew × arrival over the benchmarks in
+// fixed-batch open-loop mode (ops = rate × duration, so each cell offers
+// the same work regardless of how the scheduler copes) and writes the
+// stability report. With failDiverging, a diverging verdict on any RTS
+// cell is an error — the CI smoke gate: at a calibrated offered rate RTS
+// must absorb the load.
+func runStability(ctx context.Context, base harness.Config, benches []harness.BenchmarkKind,
+	readRatio float64, skewList, arrivalList, rateList, path string, failDiverging bool) error {
+	rates, err := parseRates(rateList)
+	if err != nil {
+		return err
+	}
+	skews, err := parseSkews(skewList)
+	if err != nil {
+		return err
+	}
+	arrivals, err := parseArrivals(arrivalList, rates)
+	if err != nil {
+		return err
+	}
+
+	doc := stabilityDoc{Experiment: "stability", ReadRatio: readRatio, Seed: base.Seed}
+	var rtsDiverged []string
+	for _, sc := range harness.Schedulers {
+		for _, b := range benches {
+			for _, sk := range skews {
+				for _, ar := range arrivals {
+					cfg := harness.OpenLoopConfig{Config: base, Arrival: ar.mk()}
+					cfg.Benchmark = b
+					cfg.Scheduler = sc
+					cfg.ReadRatio = readRatio
+					cfg.KeySampler = sk.mk()
+					cfg.Ops = int(ar.rate * base.Duration.Seconds())
+					if cfg.Ops < 50 {
+						cfg.Ops = 50
+					}
+					// Bound drain time so a diverging cell is cut off
+					// rather than stalling the whole sweep.
+					cfg.Timeout = 3 * base.Duration
+					if cfg.Timeout < time.Second {
+						cfg.Timeout = time.Second
+					}
+					res, err := harness.RunOpenLoop(ctx, cfg)
+					if err != nil {
+						return err
+					}
+					if res.CheckErr != nil {
+						return fmt.Errorf("%s/%s/%s invariant: %w", sc, b, sk.name, res.CheckErr)
+					}
+					if res.ProtocolErr != nil {
+						return fmt.Errorf("%s/%s/%s protocol trace: %w", sc, b, sk.name, res.ProtocolErr)
+					}
+					row := stabilityRow{
+						Scheduler:        string(sc),
+						Benchmark:        string(b),
+						Skew:             sk.name,
+						Arrival:          ar.name,
+						TargetRateTPS:    ar.rate,
+						Ops:              cfg.Ops,
+						Offered:          res.Offered,
+						Shed:             res.Shed,
+						Completed:        res.Completed,
+						Failed:           res.Failed,
+						Commits:          res.Metrics.Commits,
+						Aborts:           res.Metrics.TotalAborts(),
+						OfferedRateTPS:   res.OfferedRate(),
+						CompletedRateTPS: res.CompletedRate(),
+						CompletionRatio:  res.CompletionRatio(),
+						MakespanMs:       float64(res.Makespan) / float64(time.Millisecond),
+						Verdict:          string(res.Verdict()),
+						SojournP50Ns:     int64(res.Sojourn.Quantile(0.50)),
+						SojournP99Ns:     int64(res.Sojourn.Quantile(0.99)),
+						SojournP999Ns:    int64(res.Sojourn.Quantile(0.999)),
+						Queue:            res.Queue,
+					}
+					for _, q := range res.Queue {
+						if q.Depth > row.QueuePeak {
+							row.QueuePeak = q.Depth
+						}
+						if q.SchedDepth > row.SchedQueuePeak {
+							row.SchedQueuePeak = q.SchedDepth
+						}
+					}
+					doc.Rows = append(doc.Rows, row)
+					doc.Nodes = res.Config.Nodes
+					doc.WorkersPerNode = res.Config.WorkersPerNode
+					doc.ObjectsPerNode = res.Config.ObjectsPerNode
+					doc.DurationMs = res.Config.Duration.Milliseconds()
+					fmt.Printf("%-12s %-8s %-8s %-9s @%6.0f/s  done %5d/%-5d  makespan %7.1fms  p99 %-10v %s\n",
+						sc, b, sk.name, ar.name, ar.rate, res.Completed, res.Offered,
+						row.MakespanMs, res.Sojourn.Quantile(0.99), row.Verdict)
+					if sc == harness.SchedRTS && res.Verdict() == harness.VerdictDiverging {
+						rtsDiverged = append(rtsDiverged,
+							fmt.Sprintf("%s/%s/%s@%.0f", b, sk.name, ar.name, ar.rate))
+					}
+				}
+			}
+		}
+	}
+
+	if err := writeStabilityJSON(doc, path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cells)\n", path, len(doc.Rows))
+	if failDiverging && len(rtsDiverged) > 0 {
+		return fmt.Errorf("RTS queue diverged at calibrated rate in %d cell(s): %s",
+			len(rtsDiverged), strings.Join(rtsDiverged, ", "))
+	}
+	return nil
+}
+
+func writeStabilityJSON(doc stabilityDoc, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(doc)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("stability json: %w", werr)
+	}
+	return nil
+}

@@ -10,6 +10,37 @@ import (
 	"dstm/internal/stm"
 )
 
+// KeyPicker chooses a key index in [0, n) from rng. Benchmarks route
+// every random key draw through their picker so workload skew (Zipfian,
+// hot-key storms — see internal/workload) is injectable from outside;
+// the default picker is uniform.
+type KeyPicker func(rng *rand.Rand, n int) int
+
+// UniformKeys is the default KeyPicker.
+func UniformKeys(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return rng.Intn(n)
+}
+
+// PickerOrUniform returns p, or UniformKeys when p is nil — the helper
+// every benchmark's SetKeyPicker uses so a nil reset restores the
+// default.
+func PickerOrUniform(p KeyPicker) KeyPicker {
+	if p == nil {
+		return UniformKeys
+	}
+	return p
+}
+
+// Skewable is implemented by benchmarks whose key distribution can be
+// replaced. SetKeyPicker must be called before the op loops start; all
+// six benchmarks implement it.
+type Skewable interface {
+	SetKeyPicker(KeyPicker)
+}
+
 // Benchmark is one distributed application under test.
 type Benchmark interface {
 	// Name is the benchmark's display name ("Bank", "DHT", ...).

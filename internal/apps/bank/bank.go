@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dstm/internal/apps"
 	"dstm/internal/object"
 	"dstm/internal/stm"
 )
@@ -43,6 +44,7 @@ type Options struct {
 type Bank struct {
 	opts     Options
 	accounts int
+	pick     apps.KeyPicker
 }
 
 // New returns a Bank benchmark.
@@ -56,8 +58,12 @@ func New(opts Options) *Bank {
 	if opts.AuditSpan <= 0 {
 		opts.AuditSpan = 4
 	}
-	return &Bank{opts: opts}
+	return &Bank{opts: opts, pick: apps.UniformKeys}
 }
+
+// SetKeyPicker implements apps.Skewable: account choice for transfers and
+// audits goes through p.
+func (b *Bank) SetKeyPicker(p apps.KeyPicker) { b.pick = apps.PickerOrUniform(p) }
 
 // Name implements apps.Benchmark.
 func (b *Bank) Name() string { return "Bank" }
@@ -95,8 +101,8 @@ func (b *Bank) batchTransfer(ctx context.Context, rt *stm.Runtime, rng *rand.Ran
 	n := 1 + rng.Intn(b.opts.MaxNested)
 	transfers := make([][2]int, n)
 	for i := range transfers {
-		from := rng.Intn(b.accounts)
-		to := rng.Intn(b.accounts)
+		from := b.pick(rng, b.accounts)
+		to := b.pick(rng, b.accounts)
 		for to == from {
 			to = (to + 1) % b.accounts
 		}
@@ -128,7 +134,7 @@ func (b *Bank) batchTransfer(ctx context.Context, rt *stm.Runtime, rng *rand.Ran
 // audit is the read transaction: sum a contiguous window of accounts, each
 // read inside a nested transaction.
 func (b *Bank) audit(ctx context.Context, rt *stm.Runtime, rng *rand.Rand) error {
-	start := rng.Intn(b.accounts)
+	start := b.pick(rng, b.accounts)
 	span := b.opts.AuditSpan
 	return rt.Atomic(ctx, "bank/audit", func(tx *stm.Txn) error {
 		var sum int64

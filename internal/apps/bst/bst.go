@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 
+	"dstm/internal/apps"
 	"dstm/internal/object"
 	"dstm/internal/stm"
 )
@@ -55,6 +56,7 @@ type BST struct {
 	opts Options
 	root object.ID
 	seq  atomic.Uint64
+	pick apps.KeyPicker
 }
 
 // New returns a BST benchmark.
@@ -71,10 +73,14 @@ func New(opts Options) *BST {
 	if opts.Name == "" {
 		opts.Name = "bst"
 	}
-	b := &BST{opts: opts}
+	b := &BST{opts: opts, pick: apps.UniformKeys}
 	b.root = object.ID(opts.Name + "/root")
 	return b
 }
+
+// SetKeyPicker implements apps.Skewable: element values drawn by Op go
+// through p. Skewed values hammer one subtree of the (unbalanced) BST.
+func (b *BST) SetKeyPicker(p apps.KeyPicker) { b.pick = apps.PickerOrUniform(p) }
 
 // Name implements apps.Benchmark.
 func (b *BST) Name() string { return "BST" }
@@ -108,7 +114,7 @@ func (b *BST) Op(ctx context.Context, rt *stm.Runtime, rng *rand.Rand, read bool
 	n := 1 + rng.Intn(b.opts.MaxNested)
 	vals := make([]int64, n)
 	for i := range vals {
-		vals[i] = int64(rng.Intn(b.opts.KeyRange))
+		vals[i] = int64(b.pick(rng, b.opts.KeyRange))
 	}
 	if read {
 		return rt.Atomic(ctx, "bst/contains", func(tx *stm.Txn) error {

@@ -11,6 +11,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 
+	"dstm/internal/apps"
 	"dstm/internal/object"
 	"dstm/internal/stm"
 )
@@ -45,6 +46,7 @@ type Options struct {
 type DHT struct {
 	opts    Options
 	buckets int
+	pick    apps.KeyPicker
 }
 
 // New returns a DHT benchmark.
@@ -58,8 +60,12 @@ func New(opts Options) *DHT {
 	if opts.MaxNested <= 0 {
 		opts.MaxNested = 3
 	}
-	return &DHT{opts: opts}
+	return &DHT{opts: opts, pick: apps.UniformKeys}
 }
+
+// SetKeyPicker implements apps.Skewable: the keys Op puts/gets go through
+// p. Skewed keys concentrate traffic on the buckets the hot keys hash to.
+func (d *DHT) SetKeyPicker(p apps.KeyPicker) { d.pick = apps.PickerOrUniform(p) }
 
 // Name implements apps.Benchmark.
 func (d *DHT) Name() string { return "DHT" }
@@ -92,7 +98,7 @@ func (d *DHT) Op(ctx context.Context, rt *stm.Runtime, rng *rand.Rand, read bool
 	n := 1 + rng.Intn(d.opts.MaxNested)
 	keys := make([]string, n)
 	for i := range keys {
-		keys[i] = d.key(rng.Intn(d.opts.KeySpace))
+		keys[i] = d.key(d.pick(rng, d.opts.KeySpace))
 	}
 	if read {
 		return d.gets(ctx, rt, keys)

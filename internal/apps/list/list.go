@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 
+	"dstm/internal/apps"
 	"dstm/internal/object"
 	"dstm/internal/stm"
 )
@@ -44,6 +45,7 @@ type List struct {
 	opts Options
 	head object.ID
 	seq  atomic.Uint64
+	pick apps.KeyPicker
 }
 
 // New returns a Linked-List benchmark.
@@ -60,10 +62,15 @@ func New(opts Options) *List {
 	if opts.Name == "" {
 		opts.Name = "ll"
 	}
-	l := &List{opts: opts}
+	l := &List{opts: opts, pick: apps.UniformKeys}
 	l.head = object.ID(opts.Name + "/head")
 	return l
 }
+
+// SetKeyPicker implements apps.Skewable: element values drawn by Op go
+// through p. Skewed values cluster operations on one stretch of the
+// sorted list, concentrating conflicts near its hottest nodes.
+func (l *List) SetKeyPicker(p apps.KeyPicker) { l.pick = apps.PickerOrUniform(p) }
 
 // Name implements apps.Benchmark.
 func (l *List) Name() string { return "Linked-List" }
@@ -99,7 +106,7 @@ func (l *List) Op(ctx context.Context, rt *stm.Runtime, rng *rand.Rand, read boo
 	n := 1 + rng.Intn(l.opts.MaxNested)
 	vals := make([]int64, n)
 	for i := range vals {
-		vals[i] = int64(rng.Intn(l.opts.KeyRange))
+		vals[i] = int64(l.pick(rng, l.opts.KeyRange))
 	}
 	if read {
 		return rt.Atomic(ctx, "ll/contains", func(tx *stm.Txn) error {

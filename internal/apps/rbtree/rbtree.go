@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 
+	"dstm/internal/apps"
 	"dstm/internal/object"
 	"dstm/internal/stm"
 )
@@ -59,6 +60,7 @@ type RBTree struct {
 	opts Options
 	root object.ID
 	seq  atomic.Uint64
+	pick apps.KeyPicker
 }
 
 // New returns an RB-Tree benchmark.
@@ -75,13 +77,17 @@ func New(opts Options) *RBTree {
 	if opts.Name == "" {
 		opts.Name = "rb"
 	}
-	t := &RBTree{opts: opts}
+	t := &RBTree{opts: opts, pick: apps.UniformKeys}
 	t.root = object.ID(opts.Name + "/root")
 	return t
 }
 
 // Name implements apps.Benchmark.
 func (t *RBTree) Name() string { return "RB-Tree" }
+
+// SetKeyPicker implements apps.Skewable: element values drawn by Op go
+// through p.
+func (t *RBTree) SetKeyPicker(p apps.KeyPicker) { t.pick = apps.PickerOrUniform(p) }
 
 func (t *RBTree) newNodeID(rt *stm.Runtime) object.ID {
 	return object.ID(fmt.Sprintf("%s/n/%d-%d", t.opts.Name, rt.Self(), t.seq.Add(1)))
@@ -112,7 +118,7 @@ func (t *RBTree) Op(ctx context.Context, rt *stm.Runtime, rng *rand.Rand, read b
 	n := 1 + rng.Intn(t.opts.MaxNested)
 	vals := make([]int64, n)
 	for i := range vals {
-		vals[i] = int64(rng.Intn(t.opts.KeyRange))
+		vals[i] = int64(t.pick(rng, t.opts.KeyRange))
 	}
 	if read {
 		return rt.Atomic(ctx, "rb/contains", func(tx *stm.Txn) error {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dstm/internal/apps"
 	"dstm/internal/object"
 	"dstm/internal/stm"
 )
@@ -94,6 +95,7 @@ type Vacation struct {
 	opts      Options
 	resources int // per kind
 	customers int
+	pick      apps.KeyPicker
 }
 
 // New returns a Vacation benchmark.
@@ -110,8 +112,13 @@ func New(opts Options) *Vacation {
 	if opts.ScanSpan <= 0 {
 		opts.ScanSpan = 4
 	}
-	return &Vacation{opts: opts}
+	return &Vacation{opts: opts, pick: apps.UniformKeys}
 }
+
+// SetKeyPicker implements apps.Skewable: customer and inventory-offset
+// choices go through p, so skew concentrates reservations on a few hot
+// customers and resource rows.
+func (v *Vacation) SetKeyPicker(p apps.KeyPicker) { v.pick = apps.PickerOrUniform(p) }
 
 // Name implements apps.Benchmark.
 func (v *Vacation) Name() string { return "Vacation" }
@@ -160,9 +167,9 @@ func (v *Vacation) Op(ctx context.Context, rt *stm.Runtime, rng *rand.Rand, read
 	}
 	switch r := rng.Intn(10); {
 	case r < 7:
-		return v.MakeReservation(ctx, rt, rng, rng.Intn(v.customers))
+		return v.MakeReservation(ctx, rt, rng, v.pick(rng, v.customers))
 	case r < 9:
-		return v.CancelCustomer(ctx, rt, rng.Intn(v.customers))
+		return v.CancelCustomer(ctx, rt, v.pick(rng, v.customers))
 	default:
 		return v.updateTables(ctx, rt, rng)
 	}
@@ -184,7 +191,7 @@ func (v *Vacation) MakeReservation(ctx context.Context, rt *stm.Runtime, rng *ra
 	}
 	offsets := make([]int, len(kinds))
 	for i := range offsets {
-		offsets[i] = rng.Intn(v.resources)
+		offsets[i] = v.pick(rng, v.resources)
 	}
 
 	return rt.Atomic(ctx, "vac/reserve", func(tx *stm.Txn) error {
@@ -280,7 +287,7 @@ func (v *Vacation) updateTables(ctx context.Context, rt *stm.Runtime, rng *rand.
 	for i := range targets {
 		targets[i] = target{
 			k:     Kind(rng.Intn(int(numKinds))),
-			idx:   rng.Intn(v.resources),
+			idx:   v.pick(rng, v.resources),
 			price: 50 + int64(rng.Intn(450)),
 		}
 	}
@@ -302,9 +309,9 @@ func (v *Vacation) updateTables(ctx context.Context, rt *stm.Runtime, rng *rand.
 
 // query reads a customer's itinerary and a window of inventory entries.
 func (v *Vacation) query(ctx context.Context, rt *stm.Runtime, rng *rand.Rand) error {
-	cust := rng.Intn(v.customers)
+	cust := v.pick(rng, v.customers)
 	kind := Kind(rng.Intn(int(numKinds)))
-	off := rng.Intn(v.resources)
+	off := v.pick(rng, v.resources)
 	return rt.Atomic(ctx, "vac/query", func(tx *stm.Txn) error {
 		if err := tx.Atomic(ctx, "vac/query/cust", func(c *stm.Txn) error {
 			_, err := c.Read(ctx, CustomerID(cust))

@@ -84,7 +84,10 @@ type RTS struct {
 	handoffSeq uint64
 }
 
-var _ sched.Policy = (*RTS)(nil)
+var (
+	_ sched.Policy       = (*RTS)(nil)
+	_ sched.QueueDepther = (*RTS)(nil)
+)
 
 // New returns an RTS policy with the given options.
 func New(opts Options) *RTS {
@@ -274,6 +277,19 @@ func (r *RTS) AdoptQueue(oid object.ID, reqs []sched.Request) {
 
 // RetryDelay implements sched.Policy.
 func (r *RTS) RetryDelay(int, string) time.Duration { return r.opts.RetryDelay }
+
+// QueueDepth implements sched.QueueDepther: the total number of parked
+// requesters across every object's list — the scheduler-side component of
+// the stability driver's queue-depth time series.
+func (r *RTS) QueueDepth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	for _, lst := range r.lists {
+		total += lst.len()
+	}
+	return total
+}
 
 // QueueLen reports the current queue length for oid (for tests/metrics).
 func (r *RTS) QueueLen(oid object.ID) int {

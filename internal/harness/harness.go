@@ -30,6 +30,7 @@ import (
 	"dstm/internal/trace/check"
 	"dstm/internal/transport"
 	"dstm/internal/vclock"
+	"dstm/internal/workload"
 )
 
 // Scheduler selects the transactional scheduler under test.
@@ -113,6 +114,11 @@ type Config struct {
 	// value keeps cluster.DefaultRetryPolicy. Lossy configs should shorten
 	// PerTryTimeout so retransmissions track the (scaled) link delays.
 	CallRetry cluster.RetryPolicy
+
+	// KeySampler replaces the benchmark's uniform key draws (Zipfian skew,
+	// hot-key storms — see internal/workload). nil keeps the benchmark's
+	// default uniform distribution.
+	KeySampler workload.KeySampler
 
 	Seed int64
 }
@@ -208,8 +214,25 @@ func (r Result) Throughput() float64 {
 // NestedAbortRate is Table I's metric.
 func (r Result) NestedAbortRate() float64 { return r.Metrics.NestedAbortRate() }
 
-// newBenchmark builds the application for a config.
+// newBenchmark builds the application for a config and applies the
+// configured key sampler.
 func newBenchmark(cfg Config) (apps.Benchmark, error) {
+	bench, err := newBenchmarkKind(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.KeySampler != nil {
+		sk, ok := bench.(apps.Skewable)
+		if !ok {
+			return nil, fmt.Errorf("harness: benchmark %q does not support key sampling", cfg.Benchmark)
+		}
+		sampler := cfg.KeySampler
+		sk.SetKeyPicker(func(rng *rand.Rand, n int) int { return sampler.Sample(rng, n) })
+	}
+	return bench, nil
+}
+
+func newBenchmarkKind(cfg Config) (apps.Benchmark, error) {
 	switch cfg.Benchmark {
 	case BenchBank:
 		return bank.New(bank.Options{AccountsPerNode: cfg.ObjectsPerNode}), nil
@@ -259,48 +282,137 @@ func newPolicy(cfg Config, st *stats.Table) (sched.Policy, error) {
 	}
 }
 
-// Run executes one experiment cell and returns its aggregated result.
-func Run(ctx context.Context, cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
+// cell is one assembled experiment cluster: the simulated network, the
+// per-node runtimes and policies, and the trace/lease plumbing around
+// them. Both the closed-loop driver (Run) and the open-loop stability
+// driver (RunOpenLoop) build on it.
+type cell struct {
+	cfg         Config
+	net         *transport.Network
+	rts         []*stm.Runtime
+	pols        []sched.Policy
+	recorders   []*trace.Recorder
+	reaperStops []func()
+}
 
+// newCell assembles the cluster for a (defaulted) config: latency-model
+// network, one runtime per node with its scheduler, tracer, and lease
+// reaper. Call close when done.
+func newCell(cfg Config) (*cell, error) {
 	lat := transport.MetricLatency{
 		Min:   cfg.LatMin,
 		Max:   cfg.LatMax,
 		Scale: cfg.DelayScale,
 		Seed:  uint64(cfg.Seed),
 	}
-	net := transport.NewNetwork(lat)
-	defer net.Close()
-
-	rts := make([]*stm.Runtime, cfg.Nodes)
-	var recorders []*trace.Recorder
-	var reaperStops []func()
+	c := &cell{cfg: cfg, net: transport.NewNetwork(lat), rts: make([]*stm.Runtime, cfg.Nodes)}
 	for i := 0; i < cfg.Nodes; i++ {
 		st := stats.NewTable(time.Millisecond)
 		pol, err := newPolicy(cfg, st)
 		if err != nil {
-			return Result{}, err
+			c.close()
+			return nil, err
 		}
+		c.pols = append(c.pols, pol)
 		clk := &vclock.Clock{}
-		ep := cluster.NewEndpoint(net.Endpoint(transport.NodeID(i)), clk)
+		ep := cluster.NewEndpoint(c.net.Endpoint(transport.NodeID(i)), clk)
 		if (cfg.CallRetry != cluster.RetryPolicy{}) {
 			ep.SetRetryPolicy(cfg.CallRetry)
 		}
-		rts[i] = stm.NewRuntime(ep, cfg.Nodes, pol, st)
+		c.rts[i] = stm.NewRuntime(ep, cfg.Nodes, pol, st)
 		if cfg.Trace {
 			rec := trace.NewRecorder(transport.NodeID(i), cfg.TraceCap, clk.Now)
-			rts[i].SetTracer(rec)
-			recorders = append(recorders, rec)
+			c.rts[i].SetTracer(rec)
+			c.recorders = append(c.recorders, rec)
 		}
 		if cfg.FlatNesting {
-			rts[i].SetNesting(stm.FlatNesting)
+			c.rts[i].SetNesting(stm.FlatNesting)
 		}
 		if cfg.LockLease > 0 {
-			stop := rts[i].StartLeaseExpiry(cfg.LockLease)
-			reaperStops = append(reaperStops, stop)
-			defer stop()
+			c.reaperStops = append(c.reaperStops, c.rts[i].StartLeaseExpiry(cfg.LockLease))
 		}
 	}
+	return c, nil
+}
+
+// close stops the lease reapers and shuts the network (both idempotent).
+func (c *cell) close() {
+	for _, stop := range c.reaperStops {
+		stop()
+	}
+	c.net.Close()
+}
+
+// enableFaults installs the seeded fault model when any rate is set.
+func (c *cell) enableFaults() {
+	if c.cfg.faulty() {
+		c.net.SetFaults(transport.NewFaultModel(transport.FaultConfig{
+			Seed:          uint64(c.cfg.Seed),
+			Drop:          c.cfg.Drop,
+			Duplicate:     c.cfg.Duplicate,
+			Reorder:       c.cfg.Reorder,
+			MaxExtraDelay: c.cfg.MaxExtraDelay,
+		}))
+	}
+}
+
+// schedQueueDepth sums the parked requesters across every node's policy.
+func (c *cell) schedQueueDepth() int {
+	total := 0
+	for _, pol := range c.pols {
+		if qd, ok := pol.(sched.QueueDepther); ok {
+			total += qd.QueueDepth()
+		}
+	}
+	return total
+}
+
+// finishTrace quiesces the cluster, merges the per-node event logs, runs
+// the protocol oracle, and (optionally) writes the JSONL export. It
+// populates the trace fields shared by Result and OpenLoopResult.
+func (c *cell) finishTrace(events *int, dropped *uint64, protocolErr *error) error {
+	// Quiesce before collecting so no goroutine is mid-way through
+	// emitting a hand-off group: stop the lease reapers, shut the
+	// network (idempotent; drains the per-link delivery goroutines),
+	// and give spawned handler goroutines a beat to finish.
+	c.close()
+	time.Sleep(25 * time.Millisecond)
+
+	logs := make([][]trace.Event, len(c.recorders))
+	for i, rec := range c.recorders {
+		logs[i] = rec.Events()
+		*dropped += rec.Dropped()
+	}
+	merged := trace.Merge(logs...)
+	*events = len(merged)
+	rep := check.Run(merged, check.Options{Truncated: *dropped > 0})
+	*protocolErr = rep.Err()
+	if c.cfg.TracePath != "" {
+		f, err := os.Create(c.cfg.TracePath)
+		if err != nil {
+			return fmt.Errorf("harness: trace file: %w", err)
+		}
+		werr := trace.WriteJSONL(f, merged)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("harness: trace write: %w", werr)
+		}
+	}
+	return nil
+}
+
+// Run executes one experiment cell and returns its aggregated result.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+
+	c, err := newCell(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer c.close()
+	net, rts := c.net, c.rts
 
 	bench, err := newBenchmark(cfg)
 	if err != nil {
@@ -315,15 +427,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	baseline := aggregate(rts)
 
 	// Faults go live only after setup so the seeded state is complete.
-	if cfg.faulty() {
-		net.SetFaults(transport.NewFaultModel(transport.FaultConfig{
-			Seed:          uint64(cfg.Seed),
-			Drop:          cfg.Drop,
-			Duplicate:     cfg.Duplicate,
-			Reorder:       cfg.Reorder,
-			MaxExtraDelay: cfg.MaxExtraDelay,
-		}))
-	}
+	c.enableFaults()
 
 	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
@@ -376,39 +480,8 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	res.CheckErr = bench.Check(checkCtx, rts[0])
 
 	if cfg.Trace {
-		// Quiesce before collecting so no goroutine is mid-way through
-		// emitting a hand-off group: stop the lease reapers, shut the
-		// network (idempotent; drains the per-link delivery goroutines),
-		// and give spawned handler goroutines a beat to finish.
-		for _, stop := range reaperStops {
-			stop()
-		}
-		net.Close()
-		time.Sleep(25 * time.Millisecond)
-
-		logs := make([][]trace.Event, len(recorders))
-		var dropped uint64
-		for i, rec := range recorders {
-			logs[i] = rec.Events()
-			dropped += rec.Dropped()
-		}
-		merged := trace.Merge(logs...)
-		res.TraceEvents = len(merged)
-		res.TraceDropped = dropped
-		rep := check.Run(merged, check.Options{Truncated: dropped > 0})
-		res.ProtocolErr = rep.Err()
-		if cfg.TracePath != "" {
-			f, err := os.Create(cfg.TracePath)
-			if err != nil {
-				return res, fmt.Errorf("harness: trace file: %w", err)
-			}
-			werr := trace.WriteJSONL(f, merged)
-			if cerr := f.Close(); werr == nil {
-				werr = cerr
-			}
-			if werr != nil {
-				return res, fmt.Errorf("harness: trace write: %w", werr)
-			}
+		if err := c.finishTrace(&res.TraceEvents, &res.TraceDropped, &res.ProtocolErr); err != nil {
+			return res, err
 		}
 	}
 	return res, nil

@@ -1,0 +1,387 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dstm/internal/stats"
+	"dstm/internal/stm"
+	"dstm/internal/workload"
+)
+
+// OpenLoopConfig is one open-loop (offered-load) experiment cell. Unlike
+// the closed loop of Run — where each worker issues its next transaction
+// only after the previous one finishes, so an overloaded scheduler is
+// politely offered less work — the open loop admits transactions on the
+// Arrival process's schedule regardless of completions. Overload shows up
+// as a growing admission queue instead of a sagging offered rate, which
+// is the regime where the stability literature (Busch et al., Sharma &
+// Busch) separates schedulers.
+type OpenLoopConfig struct {
+	Config
+
+	// Arrival is the open-loop arrival process (required).
+	Arrival workload.Arrival
+
+	// Ops, when positive, switches to fixed-batch mode: exactly Ops
+	// arrivals are offered and the run measures the makespan from the
+	// first arrival to the last completion. Zero offers arrivals for
+	// Config.Duration (windowed mode).
+	Ops int
+
+	// MaxPending caps the admission queue; arrivals beyond it are shed
+	// (counted, never executed). 0 means 1<<16.
+	MaxPending int
+
+	// SampleEvery is the queue-depth sampling period. 0 derives ~48
+	// samples from the run window (min 1ms).
+	SampleEvery time.Duration
+
+	// Timeout bounds fixed-batch runs in wall-clock time so a diverging
+	// cell terminates with incomplete work instead of hanging. 0 means
+	// max(10×Duration, 2s).
+	Timeout time.Duration
+}
+
+func (c OpenLoopConfig) withDefaults() (OpenLoopConfig, error) {
+	if c.Arrival == nil {
+		return c, fmt.Errorf("harness: open-loop config needs an Arrival process")
+	}
+	c.Config = c.Config.withDefaults()
+	if c.MaxPending <= 0 {
+		c.MaxPending = 1 << 16
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = c.Duration / 48
+		if c.SampleEvery < time.Millisecond {
+			c.SampleEvery = time.Millisecond
+		}
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * c.Duration
+		if c.Timeout < 2*time.Second {
+			c.Timeout = 2 * time.Second
+		}
+	}
+	return c, nil
+}
+
+// QueueSample is one point of the queue-depth time series.
+type QueueSample struct {
+	// TMs is the sample time in milliseconds since the first arrival.
+	TMs float64 `json:"t_ms"`
+	// Depth is the admission backlog: offered − shed − finished, i.e.
+	// transactions waiting in the admission queue or in service.
+	Depth int `json:"depth"`
+	// SchedDepth is the scheduler-internal queue: requesters parked at
+	// owners across every node's policy (0 for the non-queuing baselines).
+	SchedDepth int `json:"sched_depth"`
+}
+
+// Verdict classifies a cell's queue behaviour.
+type Verdict string
+
+// Verdicts. Stable: the system absorbed the offered load (completions
+// track arrivals, queue depth flat). Diverging: the queue grew without
+// bound or most offered work never completed — the offered rate exceeds
+// this scheduler's capacity on this workload. Marginal is the band in
+// between (e.g. bursty cells that drain late).
+const (
+	VerdictStable    Verdict = "stable"
+	VerdictMarginal  Verdict = "marginal"
+	VerdictDiverging Verdict = "diverging"
+)
+
+// OpenLoopResult aggregates one open-loop cell.
+type OpenLoopResult struct {
+	Config  OpenLoopConfig
+	Elapsed time.Duration // first arrival → driver shutdown
+
+	// Makespan is first arrival → last completion (fixed-batch mode
+	// only; 0 in windowed mode).
+	Makespan time.Duration
+
+	Offered   uint64 // arrivals the process generated
+	Shed      uint64 // arrivals dropped: admission queue at MaxPending
+	Completed uint64 // ops that finished successfully
+	Failed    uint64 // ops that errored for a non-shutdown reason
+
+	Metrics stm.MetricsSnapshot
+	// Sojourn is the end-to-end latency histogram: arrival (admission)
+	// to completion, queueing included — the open-loop tail the paper's
+	// closed-loop throughput numbers cannot show.
+	Sojourn stats.HistSnapshot
+	Queue   []QueueSample
+
+	CheckErr error
+
+	// Protocol trace verdict (Config.Trace only), as in Result.
+	ProtocolErr  error
+	TraceEvents  int
+	TraceDropped uint64
+}
+
+// OfferedRate is the realised offered load in arrivals/sec.
+func (r OpenLoopResult) OfferedRate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Offered) / r.Elapsed.Seconds()
+}
+
+// CompletedRate is the completion throughput in ops/sec.
+func (r OpenLoopResult) CompletedRate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Elapsed.Seconds()
+}
+
+// CompletionRatio is completed/offered (1 when nothing was offered).
+func (r OpenLoopResult) CompletionRatio() float64 {
+	if r.Offered == 0 {
+		return 1
+	}
+	return float64(r.Completed) / float64(r.Offered)
+}
+
+// queueGrowth compares the mean total queue depth (admission + scheduler)
+// over the last third of the samples against the first third, with
+// absolute slack so single-digit depths never count as growth. Returns a
+// multiplicative factor >= 1.
+func queueGrowth(q []QueueSample) float64 {
+	if len(q) < 6 {
+		return 1
+	}
+	third := len(q) / 3
+	mean := func(s []QueueSample) float64 {
+		var sum float64
+		for _, p := range s {
+			sum += float64(p.Depth + p.SchedDepth)
+		}
+		return sum / float64(len(s))
+	}
+	first, last := mean(q[:third]), mean(q[len(q)-third:])
+	if last <= first+4 {
+		return 1
+	}
+	return last / (first + 4)
+}
+
+// Verdict classifies the cell: see the Verdict constants. The thresholds
+// are deliberately wide apart (0.9/0.6 completion, 2×/4× growth) so the
+// verdict is deterministic for a seeded cell comfortably inside either
+// regime; cells near the capacity knee report "marginal".
+func (r OpenLoopResult) Verdict() Verdict {
+	if r.Offered == 0 {
+		return VerdictStable
+	}
+	ratio := r.CompletionRatio()
+	growth := queueGrowth(r.Queue)
+	switch {
+	case ratio < 0.6 || growth >= 4:
+		return VerdictDiverging
+	case ratio >= 0.9 && growth < 2:
+		return VerdictStable
+	default:
+		return VerdictMarginal
+	}
+}
+
+// openJob is one admitted arrival awaiting a worker.
+type openJob struct {
+	arrived time.Time
+	seed    int64
+}
+
+// RunOpenLoop executes one open-loop cell: it assembles the same cluster
+// as Run, seeds the benchmark, then drives arrivals from cfg.Arrival into
+// an admission queue consumed by Nodes×WorkersPerNode workers (each
+// pinned to its node's runtime). A queue-depth sampler runs alongside;
+// the result carries the offered/completed accounting, the depth time
+// series, the end-to-end sojourn histogram, and — in fixed-batch mode —
+// the makespan.
+func RunOpenLoop(ctx context.Context, cfg OpenLoopConfig) (OpenLoopResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return OpenLoopResult{}, err
+	}
+
+	c, err := newCell(cfg.Config)
+	if err != nil {
+		return OpenLoopResult{}, err
+	}
+	defer c.close()
+
+	bench, err := newBenchmark(cfg.Config)
+	if err != nil {
+		return OpenLoopResult{}, err
+	}
+	if err := bench.Setup(ctx, c.rts); err != nil {
+		return OpenLoopResult{}, fmt.Errorf("harness: setup: %w", err)
+	}
+	baseline := aggregate(c.rts)
+	c.enableFaults()
+
+	// The run context bounds the workers. Windowed mode closes it at
+	// Duration; fixed-batch mode lets the batch drain but caps the wall
+	// clock at Timeout so diverging cells terminate.
+	window := cfg.Duration
+	if cfg.Ops > 0 {
+		window = cfg.Timeout
+	}
+	runCtx, cancel := context.WithTimeout(ctx, window)
+	defer cancel()
+
+	var (
+		offered, shed, completed, failed atomic.Uint64
+		sojourn                          stats.LatencyHist
+		lastDone                         atomic.Int64 // ns since start of the latest completion
+		firstErr                         error
+		errMu                            sync.Mutex
+	)
+	jobs := make(chan openJob, cfg.MaxPending)
+	start := time.Now()
+
+	// Workers: the service side of the queue. Worker w executes on node
+	// w%Nodes, so admissions spread round-robin over the cluster.
+	var workers sync.WaitGroup
+	for w := 0; w < cfg.Nodes*cfg.WorkersPerNode; w++ {
+		workers.Add(1)
+		go func(rt *stm.Runtime) {
+			defer workers.Done()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case job, ok := <-jobs:
+					if !ok {
+						return
+					}
+					rng := rand.New(rand.NewSource(job.seed))
+					read := rng.Float64() < cfg.ReadRatio
+					if err := bench.Op(runCtx, rt, rng, read); err != nil {
+						if isShutdownErr(err) {
+							return
+						}
+						failed.Add(1)
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						continue
+					}
+					sojourn.Observe(time.Since(job.arrived))
+					lastDone.Store(int64(time.Since(start)))
+					completed.Add(1)
+				}
+			}
+		}(c.rts[w%cfg.Nodes])
+	}
+
+	// Queue-depth sampler.
+	var samples []QueueSample
+	samplerDone := make(chan struct{})
+	sampleCtx, stopSampler := context.WithCancel(ctx)
+	defer stopSampler()
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(cfg.SampleEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleCtx.Done():
+				return
+			case <-tick.C:
+				depth := int(offered.Load()) - int(shed.Load()) -
+					int(completed.Load()) - int(failed.Load())
+				if depth < 0 {
+					depth = 0
+				}
+				samples = append(samples, QueueSample{
+					TMs:        float64(time.Since(start)) / float64(time.Millisecond),
+					Depth:      depth,
+					SchedDepth: c.schedQueueDepth(),
+				})
+			}
+		}
+	}()
+
+	// The arrival clock. In windowed mode it stops at the deadline; in
+	// fixed-batch mode after exactly cfg.Ops admissions.
+	arrivalRng := rand.New(rand.NewSource(cfg.Seed ^ 0x0a221ca1))
+	arrivalCtx := runCtx
+	if cfg.Ops <= 0 {
+		// Stop offering at the measurement window even if Timeout > Duration.
+		var cancelArr context.CancelFunc
+		arrivalCtx, cancelArr = context.WithTimeout(runCtx, cfg.Duration)
+		defer cancelArr()
+	}
+	n := workload.Drive(arrivalCtx, cfg.Arrival, arrivalRng, cfg.Ops, func(i int) bool {
+		offered.Add(1)
+		job := openJob{arrived: time.Now(), seed: cfg.Seed + int64(i)*7919 + 1}
+		select {
+		case jobs <- job:
+		default:
+			shed.Add(1) // queue at MaxPending: the open loop sheds, never blocks
+		}
+		return true
+	})
+	_ = n
+
+	if cfg.Ops > 0 {
+		// Fixed batch: let the workers drain the queue (bounded by the
+		// run context's Timeout), then release them.
+		close(jobs)
+		workers.Wait()
+	} else {
+		// Windowed: workers stop at the deadline; pending jobs count as
+		// not completed.
+		<-runCtx.Done()
+		workers.Wait()
+	}
+	elapsed := time.Since(start)
+	stopSampler()
+	<-samplerDone
+
+	if firstErr != nil {
+		return OpenLoopResult{}, fmt.Errorf("harness: open-loop worker failed: %w", firstErr)
+	}
+
+	// Heal before checking invariants, as in Run.
+	c.net.SetFaults(nil)
+
+	m := aggregate(c.rts)
+	m.Sub(baseline)
+
+	res := OpenLoopResult{
+		Config:    cfg,
+		Elapsed:   elapsed,
+		Offered:   offered.Load(),
+		Shed:      shed.Load(),
+		Completed: completed.Load(),
+		Failed:    failed.Load(),
+		Metrics:   m,
+		Sojourn:   sojourn.Snapshot(),
+		Queue:     samples,
+	}
+	if cfg.Ops > 0 && res.Completed > 0 {
+		res.Makespan = time.Duration(lastDone.Load())
+	}
+
+	checkCtx, checkCancel := context.WithTimeout(ctx, 30*time.Second)
+	defer checkCancel()
+	res.CheckErr = bench.Check(checkCtx, c.rts[0])
+
+	if cfg.Trace {
+		if err := c.finishTrace(&res.TraceEvents, &res.TraceDropped, &res.ProtocolErr); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}

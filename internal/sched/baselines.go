@@ -13,6 +13,7 @@ import (
 type noQueue struct{}
 
 func (noQueue) OnRelease(object.ID) []Request        { return nil }
+func (noQueue) QueueDepth() int                      { return 0 }
 func (noQueue) ExtractQueue(object.ID) []Request     { return nil }
 func (noQueue) AdoptQueue(object.ID, []Request)      {}
 func (noQueue) OnDecline(object.ID) []Request        { return nil }
@@ -90,6 +91,8 @@ func (b *Backoff) RetryDelay(attempt int, profile string) time.Duration {
 
 // Compile-time interface checks.
 var (
-	_ Policy = (*TFA)(nil)
-	_ Policy = (*Backoff)(nil)
+	_ Policy       = (*TFA)(nil)
+	_ Policy       = (*Backoff)(nil)
+	_ QueueDepther = (*TFA)(nil)
+	_ QueueDepther = (*Backoff)(nil)
 )

@@ -106,3 +106,14 @@ type Policy interface {
 type Estimator interface {
 	Expect(profile string) time.Duration
 }
+
+// QueueDepther is an optional Policy extension: QueueDepth reports how
+// many requesters the policy currently has parked across all objects.
+// The open-loop stability driver samples it into the queue-depth time
+// series, alongside the admission queue, so scheduler-internal queue
+// growth (RTS's requester lists) is visible in the same trajectory as
+// offered-load backlog. All in-tree policies implement it; the baselines
+// report 0 (they never enqueue).
+type QueueDepther interface {
+	QueueDepth() int
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"dstm/internal/trace/check"
 	"dstm/internal/transport"
 	"dstm/internal/vclock"
+	"dstm/internal/workload"
 )
 
 // ChaosOptions configures a fault-injected cluster run. The zero value is
@@ -62,6 +64,19 @@ type ChaosOptions struct {
 	Duration  time.Duration // fault window; 0 means 2s
 	ReadRatio float64       // fraction of read ops; 0 means 0.5
 
+	// KeySampler skews the benchmark's key choices (nil = the benchmark's
+	// uniform default). Applied via apps.Skewable before Setup; ignored
+	// for benchmarks that do not support it.
+	KeySampler workload.KeySampler
+
+	// Arrival switches Run to an open-loop driver: ops are admitted on
+	// this arrival schedule (regardless of completions) into a bounded
+	// queue consumed by Workers×Nodes workers, instead of the default
+	// closed loop where each worker issues ops back-to-back. Overflow
+	// beyond MaxPending is shed and counted, never blocks the clock.
+	Arrival    workload.Arrival
+	MaxPending int // admission-queue bound for open-loop runs; 0 means 4096
+
 	// Crash schedule: every CrashEvery a random non-zero node crashes
 	// (drops off the network) for CrashDown, then restarts. CrashEvery 0
 	// disables crashes.
@@ -97,6 +112,9 @@ func (o ChaosOptions) withDefaults() ChaosOptions {
 	}
 	if o.CrashEvery > 0 && o.CrashDown <= 0 {
 		o.CrashDown = o.CrashEvery / 2
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 4096
 	}
 	return o
 }
@@ -175,6 +193,11 @@ type ChaosReport struct {
 	Faults  transport.FaultStats // messages dropped/duplicated/reordered
 	Crashes int                  // crash/restart cycles executed
 
+	// Open-loop accounting (ChaosOptions.Arrival only; zero otherwise).
+	Offered   uint64 // arrivals generated by the arrival process
+	Shed      uint64 // arrivals dropped at the MaxPending bound
+	Completed uint64 // admitted ops that finished successfully
+
 	// Protocol trace verdict (ChaosOptions.Trace only). ProtocolErr is the
 	// trace checker's verdict over the merged event log; TraceDropped > 0
 	// means some ring wrapped and the check ran truncated.
@@ -190,6 +213,12 @@ type ChaosReport struct {
 // failure; a healthy run returns a report and nil.
 func (c *ChaosCluster) Run(ctx context.Context, bench apps.Benchmark) (ChaosReport, error) {
 	var rep ChaosReport
+	if c.opts.KeySampler != nil {
+		if sk, ok := bench.(apps.Skewable); ok {
+			sampler := c.opts.KeySampler
+			sk.SetKeyPicker(func(rng *rand.Rand, n int) int { return sampler.Sample(rng, n) })
+		}
+	}
 	if err := bench.Setup(ctx, c.Rts); err != nil {
 		return rep, fmt.Errorf("chaos: setup: %w", err)
 	}
@@ -201,6 +230,11 @@ func (c *ChaosCluster) Run(ctx context.Context, bench apps.Benchmark) (ChaosRepo
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
 	var firstErr error
+	var completed atomic.Uint64
+	var jobs chan int64 // open-loop admission queue (Arrival mode only)
+	if c.opts.Arrival != nil {
+		jobs = make(chan int64, c.opts.MaxPending)
+	}
 	for n := 0; n < c.opts.Nodes; n++ {
 		for w := 0; w < c.opts.Workers; w++ {
 			wg.Add(1)
@@ -208,6 +242,20 @@ func (c *ChaosCluster) Run(ctx context.Context, bench apps.Benchmark) (ChaosRepo
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(seed))
 				for runCtx.Err() == nil {
+					if jobs != nil {
+						// Open loop: wait for an admitted arrival; its seed
+						// reseeds the op so the schedule, not the worker,
+						// determines the op stream.
+						select {
+						case <-runCtx.Done():
+							return
+						case opSeed, ok := <-jobs:
+							if !ok {
+								return
+							}
+							rng = rand.New(rand.NewSource(opSeed))
+						}
+					}
 					read := rng.Float64() < c.opts.ReadRatio
 					if err := bench.Op(runCtx, rt, rng, read); err != nil {
 						if isShutdownErr(err) {
@@ -220,6 +268,7 @@ func (c *ChaosCluster) Run(ctx context.Context, bench apps.Benchmark) (ChaosRepo
 						errMu.Unlock()
 						return
 					}
+					completed.Add(1)
 				}
 			}(c.Rts[n], c.opts.Seed+int64(n*1000+w))
 		}
@@ -255,7 +304,26 @@ func (c *ChaosCluster) Run(ctx context.Context, bench apps.Benchmark) (ChaosRepo
 		}()
 	}
 
+	if c.opts.Arrival != nil {
+		// The arrival clock: offer ops on schedule until the fault window
+		// closes, shedding (never blocking) when the queue is full.
+		rng := rand.New(rand.NewSource(c.opts.Seed ^ 0x0a221ca1))
+		workload.Drive(runCtx, c.opts.Arrival, rng, 0, func(i int) bool {
+			rep.Offered++
+			select {
+			case jobs <- c.opts.Seed + int64(i)*7919 + 1:
+			default:
+				rep.Shed++
+			}
+			return true
+		})
+		close(jobs)
+	}
+
 	wg.Wait()
+	if c.opts.Arrival != nil {
+		rep.Completed = completed.Load()
+	}
 	c.DisableFaults()
 	rep.Faults = c.Faults.Stats()
 	for _, rt := range c.Rts {

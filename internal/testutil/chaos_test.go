@@ -11,6 +11,7 @@ import (
 	"dstm/internal/core"
 	"dstm/internal/sched"
 	"dstm/internal/transport"
+	"dstm/internal/workload"
 )
 
 // chaosOpts is the shared base configuration: 15% drop, some duplication
@@ -227,4 +228,48 @@ func TestChaosSoakBankHeavyLoss(t *testing.T) {
 	if rep.Crashes < 5 {
 		t.Fatalf("only %d crash cycles in a %v soak; crash controller stalled", rep.Crashes, opts.Duration)
 	}
+}
+
+// TestChaosOpenLoopZipfTraceOracle drives the bank through the full
+// adversarial stack at once: an open-loop Poisson arrival process (ops
+// admitted on the clock's schedule, not the workers'), Zipfian key skew
+// concentrating conflicts on the hot accounts, 15% message loss with
+// duplication/reordering and crash cycling, under the RTS scheduler with
+// tracing on. After the heal, the merged trace must satisfy the protocol
+// oracle (I1-I7) and the bank's conservation invariant must hold — and
+// the open-loop accounting must show real admitted-and-completed load.
+func TestChaosOpenLoopZipfTraceOracle(t *testing.T) {
+	opts := chaosOpts()
+	opts.Seed = 61
+	opts.Trace = true
+	opts.TraceCap = 1 << 20
+	opts.MkPolicy = func() sched.Policy { return core.New(core.Options{CLThreshold: 3}) }
+	opts.KeySampler = workload.NewZipf(0.9)
+	opts.Arrival = workload.NewPoisson(600)
+	opts.MaxPending = 512
+	cc := NewChaosCluster(t, opts)
+	rep, err := cc.Run(context.Background(), bank.New(bank.Options{AccountsPerNode: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireChaosHappened(t, rep)
+	if rep.Offered == 0 || rep.Completed == 0 {
+		t.Fatalf("open loop made no progress: offered=%d completed=%d shed=%d",
+			rep.Offered, rep.Shed, rep.Completed)
+	}
+	if rep.Offered < rep.Shed+rep.Completed {
+		t.Fatalf("open-loop accounting broken: offered=%d shed=%d completed=%d",
+			rep.Offered, rep.Shed, rep.Completed)
+	}
+	if rep.TraceEvents == 0 {
+		t.Fatal("tracing enabled but no events recorded")
+	}
+	if rep.TraceDropped != 0 {
+		t.Fatalf("ring wrapped (%d dropped) — raise TraceCap so the full check runs", rep.TraceDropped)
+	}
+	if rep.ProtocolErr != nil {
+		t.Fatalf("protocol check failed over %d events:\n%v", rep.TraceEvents, rep.ProtocolErr)
+	}
+	t.Logf("open loop: offered=%d shed=%d completed=%d trace-events=%d",
+		rep.Offered, rep.Shed, rep.Completed, rep.TraceEvents)
 }

@@ -44,6 +44,14 @@ go test -race ./...
 echo "== commit-pipeline msgs/commit bound"
 go test ./internal/stm/ -run TestCommitMsgsBoundEightObjectsTwoOwners -count=1
 
+# Open-loop stability smoke: one small Zipfian cell per scheduler at a
+# rate calibrated well inside capacity. -faildiverging turns a diverging
+# queue verdict for RTS into a CI failure.
+echo "== open-loop stability smoke (zipf @ 250/s)"
+go run ./cmd/rtsbench -experiment stability -bench bank -skews zipf \
+    -arrivals poisson -rates 250 -nodes 3 -workers 2 -duration 100ms \
+    -delayscale 0.002 -stabilityjson /tmp/ci_stability.json -faildiverging
+
 if [ "$CI_FUZZTIME" != 0 ]; then
     echo "== fuzz targets (${CI_FUZZTIME} each)"
     go test ./internal/trace/ -fuzz FuzzReadJSONL -fuzztime "$CI_FUZZTIME"
