@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 3s
 COV_FLOOR ?= 70
 
-.PHONY: all build vet test cover race fuzz bench bench-stability verify clean
+.PHONY: all build vet test cover race fuzz perf bench bench-stability bench-wire verify clean
 
 all: verify
 
@@ -17,7 +17,8 @@ test:
 
 # cover measures the core protocol packages (the STM engine and the RTS
 # scheduler) and warns when the combined figure slips under the soft floor.
-# scripts/ci.sh enforces the same floor (strict with CI_COV_STRICT=1).
+# scripts/ci.sh enforces the same floor (strict by default; set
+# CI_COV_STRICT=0 there to downgrade a shortfall to a warning).
 cover:
 	$(GO) test -coverprofile=coverage.out -coverpkg=dstm/internal/stm,dstm/internal/core ./...
 	@$(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/,"",$$3); \
@@ -29,21 +30,20 @@ race:
 
 # fuzz runs every fuzz target for FUZZTIME each (seed corpora are under
 # each package's testdata/fuzz and also replay during plain `make test`).
+# The target list lives in scripts/ci.sh so make and CI stay in sync.
 fuzz:
-	$(GO) test ./internal/trace/ -fuzz FuzzReadJSONL -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/trace/ -fuzz FuzzEventRoundTrip -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/transport/ -fuzz FuzzMessageGobRoundTrip -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/transport/ -fuzz FuzzMessageGobDecode -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/stm/ -fuzz FuzzRetrieveRoundTrip -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/stm/ -fuzz FuzzCommitPushRoundTrip -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/stm/ -fuzz FuzzAcquireCheckBatchRoundTrip -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/stm/ -fuzz FuzzCommitObjBatchRoundTrip -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/cc/ -fuzz FuzzDirectoryBatchRoundTrip -fuzztime $(FUZZTIME)
+	CI_FUZZTIME=$(FUZZTIME) ./scripts/ci.sh fuzz
 
-# verify is the tier-1 gate: vet, build, plain tests with the coverage
-# floor, then the full suite under the race detector (chaos/soak tests
-# included), then a short fuzz pass.
-verify: vet build cover race fuzz
+# perf runs the perf smokes: the commit-pipeline msgs/commit bound, the
+# wire-codec zero-allocation gate, the open-loop stability smoke, the
+# gated wire experiment, and a 3-process dstmnode cluster smoke.
+perf:
+	./scripts/ci.sh perf
+
+# verify is the tier-1 gate; it delegates to the staged CI script so
+# `make verify` and CI run exactly the same checks.
+verify:
+	CI_FUZZTIME=$(FUZZTIME) CI_COV_FLOOR=$(COV_FLOOR) ./scripts/ci.sh all
 
 # bench runs the Go micro-benchmarks, then the commit-pipeline benchmark,
 # which writes machine-readable throughput / msgs-per-commit / latency-tail
@@ -60,6 +60,15 @@ bench:
 bench-stability:
 	$(GO) run ./cmd/rtsbench -experiment stability -bench bank,ll,dht \
 		-nodes 4 -duration 150ms -stabilityjson results/BENCH_stability.json
+
+# bench-wire measures the hand-rolled binary wire codec against gob:
+# per-payload alloc/op and bytes, a raw loopback-TCP message pump, and
+# end-to-end bank cells on memnet vs TCP with both codecs. Writes
+# results/BENCH_wire.json and fails unless the binary codec is
+# allocation-free and at least 2x gob's pump throughput.
+bench-wire:
+	$(GO) run ./cmd/rtsbench -experiment wire -duration 1s \
+		-wirejson results/BENCH_wire.json -wiregate
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,7 @@
 //	rtsbench -experiment fig5                   # Fig. 5 (high contention)
 //	rtsbench -experiment speedup                # Fig. 6 summary
 //	rtsbench -experiment stability              # open-loop queue-stability sweep
+//	rtsbench -experiment wire                   # binary codec vs gob wire sweep
 //	rtsbench -experiment all
 //
 // Flags tune scale: -nodes, -maxnodes, -duration, -workers, -objects,
@@ -54,6 +55,9 @@ func main() {
 		scheduler  = flag.String("scheduler", "RTS", "scheduler for -experiment cell (RTS | TFA | TFA+Backoff)")
 		readRatio  = flag.Float64("readratio", 0.9, "read fraction for -experiment cell")
 		benchJSON  = flag.String("benchjson", "", "run the commit-pipeline benchmark and write its JSON report (throughput, msgs/commit, commit-latency p50/p99 per scheduler) to this file, then exit")
+
+		wireJSON = flag.String("wirejson", "results/BENCH_wire.json", "output path for -experiment wire")
+		wireGate = flag.Bool("wiregate", false, "exit non-zero unless the binary codec is alloc-free and >= 2x gob pump throughput")
 
 		stabilityJSON = flag.String("stabilityjson", "results/BENCH_stability.json", "output path for -experiment stability")
 		rates         = flag.String("rates", "300,900", "comma-separated offered arrival rates (tx/s) for -experiment stability")
@@ -109,6 +113,8 @@ func main() {
 	case "stability":
 		err = runStability(ctx, base, benches, *readRatio, *skews, *arrivals, *rates,
 			*stabilityJSON, *failDiverging)
+	case "wire":
+		err = runWire(ctx, base, *wireJSON, *wireGate)
 	case "table1":
 		err = runTable1(ctx, base, benches)
 	case "fig4":

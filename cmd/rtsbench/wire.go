@@ -1,0 +1,244 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dstm/internal/harness"
+	"dstm/internal/stm"
+	"dstm/internal/transport"
+)
+
+// pumpRow is one codec's raw transport throughput measurement: one sender
+// node pushing the commit pipeline's hottest payload to one receiver over
+// loopback TCP as fast as the transport accepts it.
+type pumpRow struct {
+	Codec       string  `json:"codec"`
+	Msgs        uint64  `json:"msgs"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	MsgsPerSec  float64 `json:"msgs_per_sec"`
+	BytesPerMsg float64 `json:"bytes_per_msg"`
+	Writes      uint64  `json:"writes"`
+	MsgsPerWrit float64 `json:"msgs_per_write"`
+}
+
+// wireCellRow is one end-to-end bank cell: same workload, different fabric.
+type wireCellRow struct {
+	Transport     string  `json:"transport"`
+	Commits       uint64  `json:"commits"`
+	Aborts        uint64  `json:"aborts"`
+	ThroughputTPS float64 `json:"throughput_tps"`
+	CommitP50Ns   int64   `json:"commit_latency_p50_ns"`
+	CommitP99Ns   int64   `json:"commit_latency_p99_ns"`
+	WireMsgs      uint64  `json:"wire_msgs"`
+	WireBytes     uint64  `json:"wire_bytes"`
+	WireWrites    uint64  `json:"wire_writes"`
+	BytesPerMsg   float64 `json:"bytes_per_msg"`
+	MsgsPerWrite  float64 `json:"msgs_per_write"`
+}
+
+// wireDoc is the whole BENCH_wire.json document.
+type wireDoc struct {
+	Experiment         string              `json:"experiment"`
+	DurationMs         int64               `json:"duration_ms"`
+	Codec              []stm.CodecBenchRow `json:"codec"`
+	Pump               []pumpRow           `json:"pump"`
+	PumpSpeedupVsGob   float64             `json:"pump_speedup_vs_gob"`
+	Cells              []wireCellRow       `json:"cells"`
+	TCPvsMemnetP50Frac float64             `json:"tcp_vs_memnet_p50_frac"`
+}
+
+// runPump measures raw message throughput for one codec.
+func runPump(codec transport.Codec, dur time.Duration) (pumpRow, error) {
+	row := pumpRow{Codec: codec.String()}
+	opts := transport.TCPOptions{Codec: codec}
+	a, err := transport.NewTCPNodeOpts(0, "127.0.0.1:0", nil, opts)
+	if err != nil {
+		return row, err
+	}
+	defer a.Close()
+	b, err := transport.NewTCPNodeOpts(1, "127.0.0.1:0", nil, opts)
+	if err != nil {
+		return row, err
+	}
+	defer b.Close()
+	peers := map[transport.NodeID]string{0: a.Addr(), 1: b.Addr()}
+	a.SetPeers(peers)
+	b.SetPeers(peers)
+
+	var recv atomic.Uint64
+	b.SetHandler(func(m *transport.Message) { recv.Add(1) })
+
+	payload := stm.WirePumpPayload()
+	const senders = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := a.Send(&transport.Message{From: 0, To: 1, Kind: stm.KindAcquireBatch,
+					Payload: payload}); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	sent := a.Stats().MsgsSent
+
+	// Wait for the receiver to drain what was sent (bounded).
+	deadline := time.Now().Add(5 * time.Second)
+	for recv.Load() < sent && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	st := a.Stats()
+	row.Msgs = recv.Load()
+	row.ElapsedMs = float64(elapsed.Nanoseconds()) / 1e6
+	row.MsgsPerSec = float64(row.Msgs) / elapsed.Seconds()
+	if st.MsgsSent > 0 {
+		row.BytesPerMsg = float64(st.BytesSent) / float64(st.MsgsSent)
+	}
+	row.Writes = st.Writes
+	if st.Writes > 0 {
+		row.MsgsPerWrit = float64(st.MsgsSent) / float64(st.Writes)
+	}
+	return row, nil
+}
+
+// runWireCell runs one bank cell on the given fabric and extracts the
+// commit latency tail plus the wire counters.
+func runWireCell(ctx context.Context, base harness.Config, tr string) (wireCellRow, error) {
+	cfg := base
+	cfg.Benchmark = harness.BenchBank
+	cfg.Scheduler = harness.SchedRTS
+	cfg.ReadRatio = 0.5
+	cfg.Transport = tr
+	// Fault injection flags target the stability experiments; wire cells
+	// compare fabrics on a lossless cluster.
+	cfg.Drop, cfg.Duplicate, cfg.Reorder = 0, 0, 0
+	res, ws, err := harness.RunWithWireStats(ctx, cfg)
+	if err != nil {
+		return wireCellRow{}, err
+	}
+	if res.CheckErr != nil {
+		return wireCellRow{}, fmt.Errorf("%s cell invariant: %w", tr, res.CheckErr)
+	}
+	lat := res.Metrics.Latency[stm.LatencyCommitKey]
+	row := wireCellRow{
+		Transport:     tr,
+		Commits:       res.Metrics.Commits,
+		Aborts:        res.Metrics.TotalAborts(),
+		ThroughputTPS: res.Throughput(),
+		CommitP50Ns:   int64(lat.Quantile(0.50)),
+		CommitP99Ns:   int64(lat.Quantile(0.99)),
+		WireMsgs:      ws.MsgsSent,
+		WireBytes:     ws.BytesSent,
+		WireWrites:    ws.Writes,
+	}
+	if ws.MsgsSent > 0 {
+		row.BytesPerMsg = float64(ws.BytesSent) / float64(ws.MsgsSent)
+	}
+	if ws.Writes > 0 {
+		row.MsgsPerWrite = float64(ws.MsgsSent) / float64(ws.Writes)
+	}
+	return row, nil
+}
+
+// runWire is `-experiment wire`: codec micro-benchmarks (alloc/op,
+// bytes/msg), the raw gob-vs-binary message pump, and end-to-end bank
+// cells on memnet vs TCP. With gate set, it exits non-zero unless the
+// binary codec is allocation-free and at least 2x gob's pump throughput.
+func runWire(ctx context.Context, base harness.Config, path string, gate bool) error {
+	doc := wireDoc{Experiment: "wire", DurationMs: base.Duration.Milliseconds()}
+
+	fmt.Println("codec micro-benchmarks:")
+	doc.Codec = stm.WireCodecBench(0)
+	for _, row := range doc.Codec {
+		fmt.Printf("  %-20s %4dB (gob %4dB)  enc %7.1fns/%.2f allocs  dec %7.1fns/%.2f allocs  gob rt %8.1fns\n",
+			row.Payload, row.BinaryBytes, row.GobBytes,
+			row.EncNsPerOp, row.EncAllocsPerOp, row.DecNsPerOp, row.DecAllocsPerOp, row.GobNsPerOp)
+	}
+
+	fmt.Println("transport pump (loopback TCP):")
+	pumpDur := base.Duration
+	if pumpDur < 500*time.Millisecond {
+		pumpDur = 500 * time.Millisecond
+	}
+	for _, codec := range []transport.Codec{transport.CodecGob, transport.CodecBinary} {
+		row, err := runPump(codec, pumpDur)
+		if err != nil {
+			return err
+		}
+		doc.Pump = append(doc.Pump, row)
+		fmt.Printf("  %-7s %9.0f msgs/s  %6.1f B/msg  %5.1f msgs/write\n",
+			row.Codec, row.MsgsPerSec, row.BytesPerMsg, row.MsgsPerWrit)
+	}
+	if doc.Pump[0].MsgsPerSec > 0 {
+		doc.PumpSpeedupVsGob = doc.Pump[1].MsgsPerSec / doc.Pump[0].MsgsPerSec
+	}
+	fmt.Printf("  binary/gob speedup: %.2fx\n", doc.PumpSpeedupVsGob)
+
+	fmt.Println("end-to-end bank cells:")
+	for _, tr := range []string{"memnet", "tcpgob", "tcp"} {
+		row, err := runWireCell(ctx, base, tr)
+		if err != nil {
+			return err
+		}
+		doc.Cells = append(doc.Cells, row)
+		fmt.Printf("  %-7s %8.1f tx/s  p50 %8v  p99 %8v  %6.1f B/msg\n",
+			tr, row.ThroughputTPS, time.Duration(row.CommitP50Ns), time.Duration(row.CommitP99Ns),
+			row.BytesPerMsg)
+	}
+	if doc.Cells[0].CommitP50Ns > 0 {
+		doc.TCPvsMemnetP50Frac = float64(doc.Cells[2].CommitP50Ns) / float64(doc.Cells[0].CommitP50Ns)
+	}
+
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(doc)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("wire json: %w", werr)
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	if gate {
+		for _, row := range doc.Codec {
+			if row.EncAllocsPerOp > 0.01 || row.DecAllocsPerOp > 0.01 {
+				return fmt.Errorf("wire gate: %s allocates (enc %.3f, dec %.3f allocs/op)",
+					row.Payload, row.EncAllocsPerOp, row.DecAllocsPerOp)
+			}
+		}
+		if doc.PumpSpeedupVsGob < 2 {
+			return fmt.Errorf("wire gate: binary pump only %.2fx gob (want >= 2x)", doc.PumpSpeedupVsGob)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package bank
+
+import "dstm/internal/wire"
+
+// Wire type IDs 100–119 are reserved for application object values; bank
+// takes 100 (see DESIGN.md "Wire format").
+const wireIDAccount wire.ID = 100
+
+func init() {
+	wire.Register(wireIDAccount, &Account{},
+		func(b []byte, v any) ([]byte, error) {
+			return wire.AppendVarint(b, v.(*Account).Balance), nil
+		},
+		func(r *wire.Reader, prev any) any {
+			a, _ := prev.(*Account)
+			if a == nil {
+				a = new(Account)
+			}
+			a.Balance = r.Varint()
+			return a
+		})
+}

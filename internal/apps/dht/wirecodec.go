@@ -1,0 +1,37 @@
+package dht
+
+import "dstm/internal/wire"
+
+// wireIDBucket is dht's slot in the application-value ID range 100–119
+// (see DESIGN.md "Wire format").
+const wireIDBucket wire.ID = 108
+
+func init() {
+	wire.Register(wireIDBucket, &Bucket{},
+		func(b []byte, v any) ([]byte, error) {
+			q := v.(*Bucket)
+			b = wire.AppendUvarint(b, uint64(len(q.M)))
+			for k, val := range q.M {
+				b = wire.AppendString(b, k)
+				b = wire.AppendString(b, val)
+			}
+			return b, nil
+		},
+		func(r *wire.Reader, prev any) any {
+			q, _ := prev.(*Bucket)
+			if q == nil {
+				q = new(Bucket)
+			}
+			n := r.SliceLen(2)
+			if q.M == nil {
+				q.M = make(map[string]string, n)
+			} else {
+				clear(q.M)
+			}
+			for i := 0; i < n; i++ {
+				k := r.String()
+				q.M[k] = r.String()
+			}
+			return q
+		})
+}

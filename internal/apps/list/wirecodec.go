@@ -1,0 +1,28 @@
+package list
+
+import (
+	"dstm/internal/object"
+	"dstm/internal/wire"
+)
+
+// wireIDNode is list's slot in the application-value ID range 100–119 (see
+// DESIGN.md "Wire format").
+const wireIDNode wire.ID = 101
+
+func init() {
+	wire.Register(wireIDNode, &Node{},
+		func(b []byte, v any) ([]byte, error) {
+			n := v.(*Node)
+			b = wire.AppendVarint(b, n.Val)
+			return wire.AppendString(b, string(n.Next)), nil
+		},
+		func(r *wire.Reader, prev any) any {
+			n, _ := prev.(*Node)
+			if n == nil {
+				n = new(Node)
+			}
+			n.Val = r.Varint()
+			n.Next = object.ID(r.String())
+			return n
+		})
+}

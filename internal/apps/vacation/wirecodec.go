@@ -1,0 +1,59 @@
+package vacation
+
+import "dstm/internal/wire"
+
+// vacation's slots in the application-value ID range 100–119 (see DESIGN.md
+// "Wire format").
+const (
+	wireIDResource wire.ID = 102
+	wireIDCustomer wire.ID = 103
+)
+
+func init() {
+	wire.Register(wireIDResource, &Resource{},
+		func(b []byte, v any) ([]byte, error) {
+			q := v.(*Resource)
+			b = wire.AppendVarint(b, q.Total)
+			b = wire.AppendVarint(b, q.Avail)
+			return wire.AppendVarint(b, q.Price), nil
+		},
+		func(r *wire.Reader, prev any) any {
+			q, _ := prev.(*Resource)
+			if q == nil {
+				q = new(Resource)
+			}
+			q.Total = r.Varint()
+			q.Avail = r.Varint()
+			q.Price = r.Varint()
+			return q
+		})
+	wire.Register(wireIDCustomer, &Customer{},
+		func(b []byte, v any) ([]byte, error) {
+			q := v.(*Customer)
+			b = wire.AppendUvarint(b, uint64(len(q.Reservations)))
+			for i := range q.Reservations {
+				b = wire.AppendUvarint(b, uint64(q.Reservations[i].Kind))
+				b = wire.AppendVarint(b, int64(q.Reservations[i].Index))
+				b = wire.AppendVarint(b, q.Reservations[i].Price)
+			}
+			return b, nil
+		},
+		func(r *wire.Reader, prev any) any {
+			q, _ := prev.(*Customer)
+			if q == nil {
+				q = new(Customer)
+			}
+			n := r.SliceLen(3)
+			if cap(q.Reservations) >= n {
+				q.Reservations = q.Reservations[:n]
+			} else {
+				q.Reservations = make([]Reservation, n)
+			}
+			for i := range q.Reservations {
+				q.Reservations[i].Kind = Kind(r.Uvarint())
+				q.Reservations[i].Index = int(r.Varint())
+				q.Reservations[i].Price = r.Varint()
+			}
+			return q
+		})
+}

@@ -8,10 +8,13 @@ import (
 
 	"dstm/internal/object"
 	"dstm/internal/transport"
+	"dstm/internal/wire"
 )
 
-// roundTrip gob-encodes a message carrying payload and returns the decoded
-// payload, failing the test on any codec error.
+// roundTrip passes a message carrying payload through BOTH wire formats —
+// gob (the legacy baseline) and the binary codec — and requires them to
+// agree, so every fuzz target in this file doubles as a differential
+// oracle. It returns the gob-decoded payload.
 func roundTrip(t *testing.T, payload any) any {
 	t.Helper()
 	in := transport.Message{From: 1, To: 2, Kind: KindLookupBatch, Payload: payload}
@@ -22,6 +25,19 @@ func roundTrip(t *testing.T, payload any) any {
 	var out transport.Message
 	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
 		t.Fatalf("decode %T: %v", payload, err)
+	}
+
+	enc, err := transport.AppendMessage(nil, &in)
+	if err != nil {
+		t.Fatalf("binary encode %T: %v", payload, err)
+	}
+	var bout transport.Message
+	if err := transport.DecodeMessage(wire.NewReader(enc), &bout); err != nil {
+		t.Fatalf("binary decode %T: %v", payload, err)
+	}
+	if !reflect.DeepEqual(bout.Payload, out.Payload) {
+		t.Fatalf("binary and gob decodes disagree for %T:\n gob:    %+v\n binary: %+v",
+			payload, out.Payload, bout.Payload)
 	}
 	return out.Payload
 }
@@ -35,6 +51,23 @@ func FuzzDirectoryBatchRoundTrip(f *testing.F) {
 	f.Add("", "x", int32(-2), uint64(0), false, "")
 	f.Fuzz(func(t *testing.T, oidA, oidB string, owner int32, tx uint64, known bool, errStr string) {
 		oids := []object.ID{object.ID(oidA), object.ID(oidB)}
+
+		sreq := lookupReq{Oid: object.ID(oidA)}
+		if got := roundTrip(t, sreq).(lookupReq); got != sreq {
+			t.Fatalf("lookupReq changed: %+v -> %+v", sreq, got)
+		}
+		sresp := lookupResp{Owner: transport.NodeID(owner), Known: known}
+		if got := roundTrip(t, sresp).(lookupResp); got != sresp {
+			t.Fatalf("lookupResp changed: %+v -> %+v", sresp, got)
+		}
+		srreq := registerReq{Oid: object.ID(oidB), Owner: transport.NodeID(owner), Tx: tx}
+		if got := roundTrip(t, srreq).(registerReq); got != srreq {
+			t.Fatalf("registerReq changed: %+v -> %+v", srreq, got)
+		}
+		sureq := updateReq{Oid: object.ID(oidA), Owner: transport.NodeID(owner)}
+		if got := roundTrip(t, sureq).(updateReq); got != sureq {
+			t.Fatalf("updateReq changed: %+v -> %+v", sureq, got)
+		}
 
 		lreq := lookupBatchReq{Oids: oids}
 		if got := roundTrip(t, lreq).(lookupBatchReq); !reflect.DeepEqual(got, lreq) {

@@ -1,0 +1,25 @@
+package cluster
+
+import "dstm/internal/wire"
+
+// wireIDEnvelope is the RPC reply envelope's wire type ID (see DESIGN.md
+// "Wire format").
+const wireIDEnvelope wire.ID = 2
+
+func init() {
+	wire.Register(wireIDEnvelope, envelope{},
+		func(b []byte, v any) ([]byte, error) {
+			e := v.(envelope)
+			b = wire.AppendString(b, e.Err)
+			return wire.AppendAny(b, e.Body)
+		},
+		func(r *wire.Reader, prev any) any {
+			var e envelope
+			if p, ok := prev.(envelope); ok {
+				e = p
+			}
+			e.Err = r.String()
+			e.Body = r.Any(e.Body)
+			return e
+		})
+}

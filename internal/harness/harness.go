@@ -120,6 +120,13 @@ type Config struct {
 	// default uniform distribution.
 	KeySampler workload.KeySampler
 
+	// Transport selects the message fabric: "memnet" (default, the
+	// in-process latency-model network), "tcp" (real loopback sockets with
+	// the binary wire codec), or "tcpgob" (loopback sockets with the legacy
+	// gob codec — the wire benchmark's measured baseline). Fault injection
+	// and the latency model require memnet.
+	Transport string
+
 	Seed int64
 }
 
@@ -169,6 +176,9 @@ func (c Config) withDefaults() Config {
 		// Transaction lifetimes scale with the link delays, so derive the
 		// window from the same scale factor (500 ms at full scale).
 		c.CLWindow = scaled(500*time.Millisecond, c.DelayScale)
+	}
+	if c.Transport == "" {
+		c.Transport = "memnet"
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -288,7 +298,8 @@ func newPolicy(cfg Config, st *stats.Table) (sched.Policy, error) {
 // driver (RunOpenLoop) build on it.
 type cell struct {
 	cfg         Config
-	net         *transport.Network
+	net         *transport.Network   // memnet only; nil for TCP transports
+	tcps        []*transport.TCPNode // TCP transports only
 	rts         []*stm.Runtime
 	pols        []sched.Policy
 	recorders   []*trace.Recorder
@@ -299,13 +310,40 @@ type cell struct {
 // network, one runtime per node with its scheduler, tracer, and lease
 // reaper. Call close when done.
 func newCell(cfg Config) (*cell, error) {
-	lat := transport.MetricLatency{
-		Min:   cfg.LatMin,
-		Max:   cfg.LatMax,
-		Scale: cfg.DelayScale,
-		Seed:  uint64(cfg.Seed),
+	c := &cell{cfg: cfg, rts: make([]*stm.Runtime, cfg.Nodes)}
+	switch cfg.Transport {
+	case "", "memnet":
+		c.net = transport.NewNetwork(transport.MetricLatency{
+			Min:   cfg.LatMin,
+			Max:   cfg.LatMax,
+			Scale: cfg.DelayScale,
+			Seed:  uint64(cfg.Seed),
+		})
+	case "tcp", "tcpgob":
+		if cfg.faulty() {
+			return nil, fmt.Errorf("harness: fault injection requires the memnet transport")
+		}
+		codec := transport.CodecBinary
+		if cfg.Transport == "tcpgob" {
+			codec = transport.CodecGob
+		}
+		peers := make(map[transport.NodeID]string, cfg.Nodes)
+		for i := 0; i < cfg.Nodes; i++ {
+			tn, err := transport.NewTCPNodeOpts(transport.NodeID(i), "127.0.0.1:0", nil,
+				transport.TCPOptions{Codec: codec})
+			if err != nil {
+				c.close()
+				return nil, fmt.Errorf("harness: tcp node %d: %w", i, err)
+			}
+			c.tcps = append(c.tcps, tn)
+			peers[transport.NodeID(i)] = tn.Addr()
+		}
+		for _, tn := range c.tcps {
+			tn.SetPeers(peers)
+		}
+	default:
+		return nil, fmt.Errorf("harness: unknown transport %q", cfg.Transport)
 	}
-	c := &cell{cfg: cfg, net: transport.NewNetwork(lat), rts: make([]*stm.Runtime, cfg.Nodes)}
 	for i := 0; i < cfg.Nodes; i++ {
 		st := stats.NewTable(time.Millisecond)
 		pol, err := newPolicy(cfg, st)
@@ -315,7 +353,13 @@ func newCell(cfg Config) (*cell, error) {
 		}
 		c.pols = append(c.pols, pol)
 		clk := &vclock.Clock{}
-		ep := cluster.NewEndpoint(c.net.Endpoint(transport.NodeID(i)), clk)
+		var tr transport.Transport
+		if c.net != nil {
+			tr = c.net.Endpoint(transport.NodeID(i))
+		} else {
+			tr = c.tcps[i]
+		}
+		ep := cluster.NewEndpoint(tr, clk)
 		if (cfg.CallRetry != cluster.RetryPolicy{}) {
 			ep.SetRetryPolicy(cfg.CallRetry)
 		}
@@ -340,7 +384,35 @@ func (c *cell) close() {
 	for _, stop := range c.reaperStops {
 		stop()
 	}
-	c.net.Close()
+	if c.net != nil {
+		c.net.Close()
+	}
+	for _, tn := range c.tcps {
+		tn.Close()
+	}
+}
+
+// healFaults removes the fault model (no-op on TCP transports, which never
+// install one).
+func (c *cell) healFaults() {
+	if c.net != nil {
+		c.net.SetFaults(nil)
+	}
+}
+
+// wireStats sums the TCP wire counters across all nodes (zero for memnet).
+func (c *cell) wireStats() transport.WireStats {
+	var total transport.WireStats
+	for _, tn := range c.tcps {
+		s := tn.Stats()
+		total.MsgsSent += s.MsgsSent
+		total.BytesSent += s.BytesSent
+		total.MsgsRecv += s.MsgsRecv
+		total.BytesRecv += s.BytesRecv
+		total.Writes += s.Writes
+		total.Dials += s.Dials
+	}
+	return total
 }
 
 // enableFaults installs the seeded fault model when any rate is set.
@@ -405,21 +477,28 @@ func (c *cell) finishTrace(events *int, dropped *uint64, protocolErr *error) err
 
 // Run executes one experiment cell and returns its aggregated result.
 func Run(ctx context.Context, cfg Config) (Result, error) {
+	res, _, err := RunWithWireStats(ctx, cfg)
+	return res, err
+}
+
+// RunWithWireStats is Run plus the cluster-wide TCP wire counters (zero
+// for the memnet transport), for the wire experiment's fabric comparison.
+func RunWithWireStats(ctx context.Context, cfg Config) (Result, transport.WireStats, error) {
 	cfg = cfg.withDefaults()
 
 	c, err := newCell(cfg)
 	if err != nil {
-		return Result{}, err
+		return Result{}, transport.WireStats{}, err
 	}
 	defer c.close()
-	net, rts := c.net, c.rts
+	rts := c.rts
 
 	bench, err := newBenchmark(cfg)
 	if err != nil {
-		return Result{}, err
+		return Result{}, transport.WireStats{}, err
 	}
 	if err := bench.Setup(ctx, rts); err != nil {
-		return Result{}, fmt.Errorf("harness: setup: %w", err)
+		return Result{}, transport.WireStats{}, fmt.Errorf("harness: setup: %w", err)
 	}
 
 	// Drop setup noise from the counters by sampling a baseline after
@@ -462,12 +541,12 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 	if firstErr != nil {
-		return Result{}, fmt.Errorf("harness: worker failed: %w", firstErr)
+		return Result{}, transport.WireStats{}, fmt.Errorf("harness: worker failed: %w", firstErr)
 	}
 
 	// Heal before checking invariants: the check verifies what committed,
 	// not whether the check's own RPCs survive the lossy network.
-	net.SetFaults(nil)
+	c.healFaults()
 
 	m := aggregate(rts)
 	m.Sub(baseline)
@@ -479,12 +558,13 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	defer checkCancel()
 	res.CheckErr = bench.Check(checkCtx, rts[0])
 
+	ws := c.wireStats()
 	if cfg.Trace {
 		if err := c.finishTrace(&res.TraceEvents, &res.TraceDropped, &res.ProtocolErr); err != nil {
-			return res, err
+			return res, ws, err
 		}
 	}
-	return res, nil
+	return res, ws, nil
 }
 
 func isShutdownErr(err error) bool {

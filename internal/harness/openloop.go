@@ -354,7 +354,7 @@ func RunOpenLoop(ctx context.Context, cfg OpenLoopConfig) (OpenLoopResult, error
 	}
 
 	// Heal before checking invariants, as in Run.
-	c.net.SetFaults(nil)
+	c.healFaults()
 
 	m := aggregate(c.rts)
 	m.Sub(baseline)

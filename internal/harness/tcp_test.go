@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunOverTCP runs a small bank cell over real loopback sockets with
+// both wire codecs: the harness must produce commits and a clean
+// conservation check on either, since the TCP transports are drop-in
+// replacements for memnet.
+func TestRunOverTCP(t *testing.T) {
+	for _, tr := range []string{"tcp", "tcpgob"} {
+		tr := tr
+		t.Run(tr, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(context.Background(), Config{
+				Nodes:          3,
+				Benchmark:      BenchBank,
+				Scheduler:      SchedTFA,
+				WorkersPerNode: 2,
+				Duration:       150 * time.Millisecond,
+				Transport:      tr,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.CheckErr != nil {
+				t.Fatalf("conservation check: %v", res.CheckErr)
+			}
+			if res.Metrics.Commits == 0 {
+				t.Fatal("no commits over TCP")
+			}
+		})
+	}
+}
+
+// TestTCPRejectsFaults: fault injection is a memnet feature; a TCP config
+// asking for it must fail fast instead of silently running lossless.
+func TestTCPRejectsFaults(t *testing.T) {
+	_, err := Run(context.Background(), Config{Transport: "tcp", Drop: 0.1})
+	if err == nil {
+		t.Fatal("faulty TCP config accepted")
+	}
+}
+
+// TestUnknownTransport: typos must not fall back to memnet silently.
+func TestUnknownTransport(t *testing.T) {
+	_, err := Run(context.Background(), Config{Transport: "udp"})
+	if err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}

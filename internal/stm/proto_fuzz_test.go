@@ -10,6 +10,7 @@ import (
 	"dstm/internal/object"
 	"dstm/internal/sched"
 	"dstm/internal/transport"
+	"dstm/internal/wire"
 )
 
 // fuzzVal is a registered object.Value so protocol payloads carrying
@@ -20,8 +21,11 @@ func (v fuzzVal) Copy() object.Value { return v }
 
 func init() { object.Register(fuzzVal{}) }
 
-// roundTrip gob-encodes a message carrying payload and returns the decoded
-// payload, failing the test on any codec error.
+// roundTrip passes a message carrying payload through BOTH wire formats —
+// gob (the legacy baseline) and the binary codec — and requires them to
+// agree: the binary format must be a drop-in replacement, so every fuzz
+// target in this file doubles as a differential oracle. It returns the
+// gob-decoded payload.
 func roundTrip(t *testing.T, payload any) any {
 	t.Helper()
 	in := transport.Message{From: 1, To: 2, Kind: KindRetrieve, Payload: payload}
@@ -32,6 +36,19 @@ func roundTrip(t *testing.T, payload any) any {
 	var out transport.Message
 	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
 		t.Fatalf("decode %T: %v", payload, err)
+	}
+
+	enc, err := transport.AppendMessage(nil, &in)
+	if err != nil {
+		t.Fatalf("binary encode %T: %v", payload, err)
+	}
+	var bout transport.Message
+	if err := transport.DecodeMessage(wire.NewReader(enc), &bout); err != nil {
+		t.Fatalf("binary decode %T: %v", payload, err)
+	}
+	if !reflect.DeepEqual(bout.Payload, out.Payload) {
+		t.Fatalf("binary and gob decodes disagree for %T:\n gob:    %+v\n binary: %+v",
+			payload, out.Payload, bout.Payload)
 	}
 	return out.Payload
 }

@@ -1,0 +1,221 @@
+// Codec micro-benchmark helpers for `rtsbench -experiment wire`. They live
+// in package stm (not a _test file) so the benchmark binary can measure the
+// real registered codecs, and avoid importing testing into library code by
+// measuring with runtime.ReadMemStats directly.
+package stm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"runtime"
+	"time"
+
+	"dstm/internal/object"
+	"dstm/internal/sched"
+	"dstm/internal/wire"
+)
+
+// benchVal is a minimal object value with a registered codec, used by the
+// codec benchmark: the real application values live above stm in the
+// import graph and would cycle.
+type benchVal struct{ N int64 }
+
+// Copy implements object.Value.
+func (v *benchVal) Copy() object.Value { c := *v; return &c }
+
+// wireIDBenchVal sits just below the application-value range.
+const wireIDBenchVal wire.ID = 99
+
+func init() {
+	object.Register(&benchVal{})
+	wire.Register(wireIDBenchVal, &benchVal{},
+		func(b []byte, v any) ([]byte, error) {
+			return wire.AppendVarint(b, v.(*benchVal).N), nil
+		},
+		func(r *wire.Reader, prev any) any {
+			v, _ := prev.(*benchVal)
+			if v == nil {
+				v = new(benchVal)
+			}
+			v.N = r.Varint()
+			return v
+		})
+}
+
+// CodecBenchRow is one payload type's codec measurement.
+type CodecBenchRow struct {
+	Payload        string  `json:"payload"`
+	BinaryBytes    int     `json:"binary_bytes"`
+	GobBytes       int     `json:"gob_bytes"` // steady-state stream size
+	EncNsPerOp     float64 `json:"enc_ns_per_op"`
+	EncAllocsPerOp float64 `json:"enc_allocs_per_op"`
+	DecNsPerOp     float64 `json:"dec_ns_per_op"`
+	DecAllocsPerOp float64 `json:"dec_allocs_per_op"`
+	GobNsPerOp     float64 `json:"gob_ns_per_op"` // encode+decode, persistent stream
+}
+
+// measure times iters calls of f and reports ns/op and mallocs/op.
+func measure(iters int, f func()) (nsPerOp, allocsPerOp float64) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	dur := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return float64(dur.Nanoseconds()) / float64(iters),
+		float64(m1.Mallocs-m0.Mallocs) / float64(iters)
+}
+
+// benchOids returns n recurring object IDs shaped like real ones.
+func benchOids(n int) []object.ID {
+	oids := make([]object.ID, n)
+	for i := range oids {
+		oids[i] = object.ID(fmt.Sprintf("bank/acct/n3/%d", i))
+	}
+	return oids
+}
+
+// wireBenchCases returns the hot commit-pipeline payloads with encode and
+// decode-in-place closures over the registered codec methods.
+func wireBenchCases() []struct {
+	name string
+	val  any
+	enc  func(b []byte) ([]byte, error)
+	dec  func(r *wire.Reader)
+} {
+	oids := benchOids(8)
+	ver := object.Version{Clock: 41, Node: 3}
+
+	retReq := retrieveReq{Oid: oids[0], TxID: 77, Mode: sched.Write, MyCL: 2,
+		Elapsed: 120 * time.Microsecond, Remain: 340 * time.Microsecond}
+	retResp := retrieveResp{Status: retrieveOK, Value: &benchVal{N: 1000},
+		Version: ver, RemoteCL: 3, OwnerClock: 42}
+
+	acq := acquireBatchReq{TxID: 77}
+	chk := checkBatchReq{TxID: 77}
+	for _, oid := range oids {
+		acq.Entries = append(acq.Entries, verEntry{Oid: oid, Ver: ver})
+		chk.Entries = append(chk.Entries, verEntry{Oid: oid, Ver: ver})
+	}
+	com := commitObjBatchReq{TxID: 77, NewVer: object.Version{Clock: 42, Node: 3}, NewOwner: 3}
+	for _, oid := range oids[:4] {
+		com.Entries = append(com.Entries, commitObjBatchEntry{Oid: oid, NewValue: &benchVal{N: 900}})
+	}
+	comResp := commitObjBatchResp{Results: make([]commitObjBatchResult, 4)}
+	comResp.Results[1].Queue = []sched.Request{{Oid: oids[1], TxID: 78, Node: 5, Mode: sched.Write,
+		MyCL: 1, Elapsed: time.Millisecond, ExpectedRemaining: 2 * time.Millisecond}}
+
+	var decRetReq retrieveReq
+	var decRetResp retrieveResp
+	var decAcq acquireBatchReq
+	var decChk checkBatchReq
+	var decCom commitObjBatchReq
+	var decComResp commitObjBatchResp
+
+	return []struct {
+		name string
+		val  any
+		enc  func(b []byte) ([]byte, error)
+		dec  func(r *wire.Reader)
+	}{
+		{"retrieveReq", retReq,
+			func(b []byte) ([]byte, error) { return retReq.appendWire(b), nil },
+			func(r *wire.Reader) { decRetReq.decodeWire(r) }},
+		{"retrieveResp", retResp,
+			func(b []byte) ([]byte, error) { return retResp.appendWire(b) },
+			func(r *wire.Reader) { decRetResp.decodeWire(r) }},
+		{"acquireBatchReq8", acq,
+			func(b []byte) ([]byte, error) { return acq.appendWire(b), nil },
+			func(r *wire.Reader) { decAcq.decodeWire(r) }},
+		{"checkBatchReq8", chk,
+			func(b []byte) ([]byte, error) { return chk.appendWire(b), nil },
+			func(r *wire.Reader) { decChk.decodeWire(r) }},
+		{"commitObjBatchReq4", com,
+			func(b []byte) ([]byte, error) { return com.appendWire(b) },
+			func(r *wire.Reader) { decCom.decodeWire(r) }},
+		{"commitObjBatchResp4", comResp,
+			func(b []byte) ([]byte, error) { return comResp.appendWire(b), nil },
+			func(r *wire.Reader) { decComResp.decodeWire(r) }},
+	}
+}
+
+// WireCodecBench measures the binary codec against gob for the hot commit
+// pipeline payloads. iters <= 0 uses a default suitable for rtsbench.
+func WireCodecBench(iters int) []CodecBenchRow {
+	if iters <= 0 {
+		iters = 20000
+	}
+	var rows []CodecBenchRow
+	for _, c := range wireBenchCases() {
+		row := CodecBenchRow{Payload: c.name}
+
+		buf := make([]byte, 0, 1024)
+		enc, err := c.enc(buf)
+		if err != nil {
+			panic(err) // registered codecs cannot fail on registered values
+		}
+		row.BinaryBytes = len(enc)
+
+		cc := c
+		row.EncNsPerOp, row.EncAllocsPerOp = measure(iters, func() {
+			if _, err := cc.enc(buf[:0]); err != nil {
+				panic(err)
+			}
+		})
+
+		r := wire.NewReader(nil)
+		r.Reset(enc)
+		cc.dec(r) // warm: populate reusable slices and the intern table
+		if err := r.Err(); err != nil {
+			panic(err)
+		}
+		row.DecNsPerOp, row.DecAllocsPerOp = measure(iters, func() {
+			r.Reset(enc)
+			cc.dec(r)
+		})
+
+		// Gob baseline: persistent stream (type info amortised, as on a
+		// long-lived connection).
+		var gb bytes.Buffer
+		genc := gob.NewEncoder(&gb)
+		gdec := gob.NewDecoder(&gb)
+		var gout any
+		roundTrip := func() {
+			v := cc.val
+			if err := genc.Encode(&v); err != nil {
+				panic(err)
+			}
+			if err := gdec.Decode(&gout); err != nil {
+				panic(err)
+			}
+		}
+		roundTrip() // warm: ships type descriptors
+		pre := gb.Len()
+		if err := genc.Encode(&cc.val); err != nil {
+			panic(err)
+		}
+		row.GobBytes = gb.Len() - pre
+		if err := gdec.Decode(&gout); err != nil {
+			panic(err)
+		}
+		row.GobNsPerOp, _ = measure(iters/4+1, roundTrip)
+
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WirePumpPayload returns a representative commit-pipeline payload (an
+// 8-entry acquire batch) for transport-level pump benchmarks.
+func WirePumpPayload() any {
+	oids := benchOids(8)
+	q := acquireBatchReq{TxID: 77}
+	for _, oid := range oids {
+		q.Entries = append(q.Entries, verEntry{Oid: oid, Ver: object.Version{Clock: 41, Node: 3}})
+	}
+	return q
+}

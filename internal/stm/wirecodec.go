@@ -1,0 +1,561 @@
+// Binary wire codecs for the STM protocol payloads (see DESIGN.md "Wire
+// format" for the type-ID map). Encoders are append-style and alloc-free;
+// decoders write into the payload struct in place, reusing its slices and
+// embedded object values, so a connection decoding into a reused payload
+// reaches zero steady-state allocations.
+package stm
+
+import (
+	"fmt"
+	"time"
+
+	"dstm/internal/object"
+	"dstm/internal/sched"
+	"dstm/internal/transport"
+	"dstm/internal/wire"
+)
+
+// Wire type IDs 10–29 are reserved for STM payloads. They are a static
+// protocol: never renumber, only append.
+const (
+	wireIDRetrieveReq        wire.ID = 10
+	wireIDRetrieveResp       wire.ID = 11
+	wireIDCheckReq           wire.ID = 12
+	wireIDCheckResp          wire.ID = 13
+	wireIDAcquireReq         wire.ID = 14
+	wireIDAcquireResp        wire.ID = 15
+	wireIDReleaseReq         wire.ID = 16
+	wireIDCommitObjReq       wire.ID = 17
+	wireIDCommitObjResp      wire.ID = 18
+	wireIDPushMsg            wire.ID = 19
+	wireIDDeclineMsg         wire.ID = 20
+	wireIDAcquireBatchReq    wire.ID = 21
+	wireIDAcquireBatchResp   wire.ID = 22
+	wireIDCheckBatchReq      wire.ID = 23
+	wireIDCheckBatchResp     wire.ID = 24
+	wireIDCommitObjBatchReq  wire.ID = 25
+	wireIDCommitObjBatchResp wire.ID = 26
+)
+
+// grow returns s resized to n elements, reusing its backing array when
+// capacity allows (retained elements feed value-reuse on decode).
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+func appendVersion(b []byte, v object.Version) []byte {
+	b = wire.AppendUvarint(b, v.Clock)
+	return wire.AppendVarint(b, int64(v.Node))
+}
+
+func readVersion(r *wire.Reader) object.Version {
+	return object.Version{Clock: r.Uvarint(), Node: int32(r.Varint())}
+}
+
+// readValue decodes an object value, reusing prev when the concrete type
+// matches, and enforces that the decoded payload implements object.Value.
+func readValue(r *wire.Reader, prev object.Value) object.Value {
+	av := r.Any(prev)
+	if av == nil {
+		return nil
+	}
+	v, ok := av.(object.Value)
+	if !ok {
+		r.Fail(fmt.Errorf("%w: %T is not an object value", wire.ErrMalformed, av))
+		return nil
+	}
+	return v
+}
+
+func appendSchedRequest(b []byte, q *sched.Request) []byte {
+	b = wire.AppendString(b, string(q.Oid))
+	b = wire.AppendUvarint(b, q.TxID)
+	b = wire.AppendVarint(b, int64(q.Node))
+	b = wire.AppendUvarint(b, uint64(q.Mode))
+	b = wire.AppendVarint(b, int64(q.MyCL))
+	b = wire.AppendVarint(b, int64(q.Elapsed))
+	return wire.AppendVarint(b, int64(q.ExpectedRemaining))
+}
+
+func readSchedRequest(r *wire.Reader, q *sched.Request) {
+	q.Oid = object.ID(r.String())
+	q.TxID = r.Uvarint()
+	q.Node = transport.NodeID(r.Varint())
+	q.Mode = sched.Mode(r.Uvarint())
+	q.MyCL = int(r.Varint())
+	q.Elapsed = time.Duration(r.Varint())
+	q.ExpectedRemaining = time.Duration(r.Varint())
+}
+
+func appendSchedQueue(b []byte, qs []sched.Request) []byte {
+	b = wire.AppendUvarint(b, uint64(len(qs)))
+	for i := range qs {
+		b = appendSchedRequest(b, &qs[i])
+	}
+	return b
+}
+
+func readSchedQueue(r *wire.Reader, prev []sched.Request) []sched.Request {
+	n := r.SliceLen(7)
+	if n == 0 {
+		return prev[:0]
+	}
+	qs := grow(prev, n)
+	for i := range qs {
+		readSchedRequest(r, &qs[i])
+	}
+	return qs
+}
+
+// ---------------------------------------------------------------------------
+// Per-payload codecs. Encoders are value-receiver methods (no escape);
+// decoders are pointer-receiver and overwrite in place.
+
+func (q retrieveReq) appendWire(b []byte) []byte {
+	b = wire.AppendString(b, string(q.Oid))
+	b = wire.AppendUvarint(b, q.TxID)
+	b = wire.AppendUvarint(b, uint64(q.Mode))
+	b = wire.AppendVarint(b, int64(q.MyCL))
+	b = wire.AppendVarint(b, int64(q.Elapsed))
+	return wire.AppendVarint(b, int64(q.Remain))
+}
+
+func (q *retrieveReq) decodeWire(r *wire.Reader) {
+	q.Oid = object.ID(r.String())
+	q.TxID = r.Uvarint()
+	q.Mode = sched.Mode(r.Uvarint())
+	q.MyCL = int(r.Varint())
+	q.Elapsed = time.Duration(r.Varint())
+	q.Remain = time.Duration(r.Varint())
+}
+
+func (q retrieveResp) appendWire(b []byte) ([]byte, error) {
+	b = wire.AppendUvarint(b, uint64(q.Status))
+	b, err := wire.AppendAny(b, q.Value)
+	if err != nil {
+		return b, err
+	}
+	b = appendVersion(b, q.Version)
+	b = wire.AppendVarint(b, int64(q.RemoteCL))
+	b = wire.AppendVarint(b, int64(q.Backoff))
+	return wire.AppendUvarint(b, q.OwnerClock), nil
+}
+
+func (q *retrieveResp) decodeWire(r *wire.Reader) {
+	q.Status = retrieveStatus(r.Uvarint())
+	q.Value = readValue(r, q.Value)
+	q.Version = readVersion(r)
+	q.RemoteCL = int(r.Varint())
+	q.Backoff = time.Duration(r.Varint())
+	q.OwnerClock = r.Uvarint()
+}
+
+func (q checkReq) appendWire(b []byte) []byte {
+	b = wire.AppendString(b, string(q.Oid))
+	b = appendVersion(b, q.Ver)
+	return wire.AppendUvarint(b, q.TxID)
+}
+
+func (q *checkReq) decodeWire(r *wire.Reader) {
+	q.Oid = object.ID(r.String())
+	q.Ver = readVersion(r)
+	q.TxID = r.Uvarint()
+}
+
+func (q checkResp) appendWire(b []byte) []byte {
+	b = wire.AppendBool(b, q.OK)
+	return wire.AppendBool(b, q.NotOwner)
+}
+
+func (q *checkResp) decodeWire(r *wire.Reader) {
+	q.OK = r.Bool()
+	q.NotOwner = r.Bool()
+}
+
+func (q acquireReq) appendWire(b []byte) []byte {
+	b = wire.AppendString(b, string(q.Oid))
+	b = wire.AppendUvarint(b, q.TxID)
+	return appendVersion(b, q.Ver)
+}
+
+func (q *acquireReq) decodeWire(r *wire.Reader) {
+	q.Oid = object.ID(r.String())
+	q.TxID = r.Uvarint()
+	q.Ver = readVersion(r)
+}
+
+func (q acquireResp) appendWire(b []byte) []byte {
+	return wire.AppendUvarint(b, uint64(q.Result))
+}
+
+func (q *acquireResp) decodeWire(r *wire.Reader) {
+	q.Result = uint8(r.Uvarint())
+}
+
+func (q releaseReq) appendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(len(q.Oids)))
+	for _, oid := range q.Oids {
+		b = wire.AppendString(b, string(oid))
+	}
+	return wire.AppendUvarint(b, q.TxID)
+}
+
+func (q *releaseReq) decodeWire(r *wire.Reader) {
+	n := r.SliceLen(1)
+	q.Oids = grow(q.Oids, n)
+	for i := range q.Oids {
+		q.Oids[i] = object.ID(r.String())
+	}
+	q.TxID = r.Uvarint()
+}
+
+func (q commitObjReq) appendWire(b []byte) ([]byte, error) {
+	b = wire.AppendString(b, string(q.Oid))
+	b = wire.AppendUvarint(b, q.TxID)
+	b = appendVersion(b, q.NewVer)
+	b, err := wire.AppendAny(b, q.NewValue)
+	if err != nil {
+		return b, err
+	}
+	return wire.AppendVarint(b, int64(q.NewOwner)), nil
+}
+
+func (q *commitObjReq) decodeWire(r *wire.Reader) {
+	q.Oid = object.ID(r.String())
+	q.TxID = r.Uvarint()
+	q.NewVer = readVersion(r)
+	q.NewValue = readValue(r, q.NewValue)
+	q.NewOwner = transport.NodeID(r.Varint())
+}
+
+func (q commitObjResp) appendWire(b []byte) []byte {
+	return appendSchedQueue(b, q.Queue)
+}
+
+func (q *commitObjResp) decodeWire(r *wire.Reader) {
+	q.Queue = readSchedQueue(r, q.Queue)
+}
+
+func (q pushMsg) appendWire(b []byte) ([]byte, error) {
+	b = wire.AppendString(b, string(q.Oid))
+	b = wire.AppendUvarint(b, q.TxID)
+	b, err := wire.AppendAny(b, q.Value)
+	if err != nil {
+		return b, err
+	}
+	b = appendVersion(b, q.Version)
+	b = wire.AppendVarint(b, int64(q.Owner))
+	b = wire.AppendUvarint(b, q.OwnerClock)
+	return wire.AppendVarint(b, int64(q.RemoteCL)), nil
+}
+
+func (q *pushMsg) decodeWire(r *wire.Reader) {
+	q.Oid = object.ID(r.String())
+	q.TxID = r.Uvarint()
+	q.Value = readValue(r, q.Value)
+	q.Version = readVersion(r)
+	q.Owner = transport.NodeID(r.Varint())
+	q.OwnerClock = r.Uvarint()
+	q.RemoteCL = int(r.Varint())
+}
+
+func (q declineMsg) appendWire(b []byte) []byte {
+	return wire.AppendString(b, string(q.Oid))
+}
+
+func (q *declineMsg) decodeWire(r *wire.Reader) {
+	q.Oid = object.ID(r.String())
+}
+
+func appendVerEntries(b []byte, es []verEntry) []byte {
+	b = wire.AppendUvarint(b, uint64(len(es)))
+	for i := range es {
+		b = wire.AppendString(b, string(es[i].Oid))
+		b = appendVersion(b, es[i].Ver)
+	}
+	return b
+}
+
+func readVerEntries(r *wire.Reader, prev []verEntry) []verEntry {
+	n := r.SliceLen(3)
+	es := grow(prev, n)
+	for i := range es {
+		es[i].Oid = object.ID(r.String())
+		es[i].Ver = readVersion(r)
+	}
+	return es
+}
+
+func (q acquireBatchReq) appendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, q.TxID)
+	return appendVerEntries(b, q.Entries)
+}
+
+func (q *acquireBatchReq) decodeWire(r *wire.Reader) {
+	q.TxID = r.Uvarint()
+	q.Entries = readVerEntries(r, q.Entries)
+}
+
+func (q acquireBatchResp) appendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(len(q.Results)))
+	for _, res := range q.Results {
+		b = wire.AppendUvarint(b, uint64(res))
+	}
+	return wire.AppendBool(b, q.Applied)
+}
+
+func (q *acquireBatchResp) decodeWire(r *wire.Reader) {
+	n := r.SliceLen(1)
+	q.Results = grow(q.Results, n)
+	for i := range q.Results {
+		q.Results[i] = uint8(r.Uvarint())
+	}
+	q.Applied = r.Bool()
+}
+
+func (q checkBatchReq) appendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, q.TxID)
+	return appendVerEntries(b, q.Entries)
+}
+
+func (q *checkBatchReq) decodeWire(r *wire.Reader) {
+	q.TxID = r.Uvarint()
+	q.Entries = readVerEntries(r, q.Entries)
+}
+
+func (q checkBatchResp) appendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(len(q.Results)))
+	for i := range q.Results {
+		b = wire.AppendBool(b, q.Results[i].OK)
+		b = wire.AppendBool(b, q.Results[i].NotOwner)
+	}
+	return b
+}
+
+func (q *checkBatchResp) decodeWire(r *wire.Reader) {
+	n := r.SliceLen(2)
+	q.Results = grow(q.Results, n)
+	for i := range q.Results {
+		q.Results[i].OK = r.Bool()
+		q.Results[i].NotOwner = r.Bool()
+	}
+}
+
+func (q commitObjBatchReq) appendWire(b []byte) ([]byte, error) {
+	b = wire.AppendUvarint(b, q.TxID)
+	b = appendVersion(b, q.NewVer)
+	b = wire.AppendVarint(b, int64(q.NewOwner))
+	b = wire.AppendUvarint(b, uint64(len(q.Entries)))
+	for i := range q.Entries {
+		b = wire.AppendString(b, string(q.Entries[i].Oid))
+		var err error
+		b, err = wire.AppendAny(b, q.Entries[i].NewValue)
+		if err != nil {
+			return b, err
+		}
+	}
+	return b, nil
+}
+
+func (q *commitObjBatchReq) decodeWire(r *wire.Reader) {
+	q.TxID = r.Uvarint()
+	q.NewVer = readVersion(r)
+	q.NewOwner = transport.NodeID(r.Varint())
+	n := r.SliceLen(2)
+	q.Entries = grow(q.Entries, n)
+	for i := range q.Entries {
+		e := &q.Entries[i]
+		e.Oid = object.ID(r.String())
+		e.NewValue = readValue(r, e.NewValue)
+	}
+}
+
+func (q commitObjBatchResp) appendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(len(q.Results)))
+	for i := range q.Results {
+		b = appendSchedQueue(b, q.Results[i].Queue)
+		b = wire.AppendString(b, q.Results[i].Err)
+	}
+	return b
+}
+
+func (q *commitObjBatchResp) decodeWire(r *wire.Reader) {
+	n := r.SliceLen(2)
+	q.Results = grow(q.Results, n)
+	for i := range q.Results {
+		q.Results[i].Queue = readSchedQueue(r, q.Results[i].Queue)
+		q.Results[i].Err = r.String()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Registration. The encode closures call value-receiver methods directly so
+// the registered encode path stays allocation-free; the decode closures
+// reuse prev's slices and values when the transport hands one back.
+
+func init() {
+	wire.Register(wireIDRetrieveReq, retrieveReq{},
+		func(b []byte, v any) ([]byte, error) { return v.(retrieveReq).appendWire(b), nil },
+		func(r *wire.Reader, prev any) any {
+			var q retrieveReq
+			if p, ok := prev.(retrieveReq); ok {
+				q = p
+			}
+			q.decodeWire(r)
+			return q
+		})
+	wire.Register(wireIDRetrieveResp, retrieveResp{},
+		func(b []byte, v any) ([]byte, error) { return v.(retrieveResp).appendWire(b) },
+		func(r *wire.Reader, prev any) any {
+			var q retrieveResp
+			if p, ok := prev.(retrieveResp); ok {
+				q = p
+			}
+			q.decodeWire(r)
+			return q
+		})
+	wire.Register(wireIDCheckReq, checkReq{},
+		func(b []byte, v any) ([]byte, error) { return v.(checkReq).appendWire(b), nil },
+		func(r *wire.Reader, prev any) any {
+			var q checkReq
+			if p, ok := prev.(checkReq); ok {
+				q = p
+			}
+			q.decodeWire(r)
+			return q
+		})
+	wire.Register(wireIDCheckResp, checkResp{},
+		func(b []byte, v any) ([]byte, error) { return v.(checkResp).appendWire(b), nil },
+		func(r *wire.Reader, prev any) any {
+			var q checkResp
+			q.decodeWire(r)
+			return q
+		})
+	wire.Register(wireIDAcquireReq, acquireReq{},
+		func(b []byte, v any) ([]byte, error) { return v.(acquireReq).appendWire(b), nil },
+		func(r *wire.Reader, prev any) any {
+			var q acquireReq
+			if p, ok := prev.(acquireReq); ok {
+				q = p
+			}
+			q.decodeWire(r)
+			return q
+		})
+	wire.Register(wireIDAcquireResp, acquireResp{},
+		func(b []byte, v any) ([]byte, error) { return v.(acquireResp).appendWire(b), nil },
+		func(r *wire.Reader, prev any) any {
+			var q acquireResp
+			q.decodeWire(r)
+			return q
+		})
+	wire.Register(wireIDReleaseReq, releaseReq{},
+		func(b []byte, v any) ([]byte, error) { return v.(releaseReq).appendWire(b), nil },
+		func(r *wire.Reader, prev any) any {
+			var q releaseReq
+			if p, ok := prev.(releaseReq); ok {
+				q = p
+			}
+			q.decodeWire(r)
+			return q
+		})
+	wire.Register(wireIDCommitObjReq, commitObjReq{},
+		func(b []byte, v any) ([]byte, error) { return v.(commitObjReq).appendWire(b) },
+		func(r *wire.Reader, prev any) any {
+			var q commitObjReq
+			if p, ok := prev.(commitObjReq); ok {
+				q = p
+			}
+			q.decodeWire(r)
+			return q
+		})
+	wire.Register(wireIDCommitObjResp, commitObjResp{},
+		func(b []byte, v any) ([]byte, error) { return v.(commitObjResp).appendWire(b), nil },
+		func(r *wire.Reader, prev any) any {
+			var q commitObjResp
+			if p, ok := prev.(commitObjResp); ok {
+				q = p
+			}
+			q.decodeWire(r)
+			return q
+		})
+	wire.Register(wireIDPushMsg, pushMsg{},
+		func(b []byte, v any) ([]byte, error) { return v.(pushMsg).appendWire(b) },
+		func(r *wire.Reader, prev any) any {
+			var q pushMsg
+			if p, ok := prev.(pushMsg); ok {
+				q = p
+			}
+			q.decodeWire(r)
+			return q
+		})
+	wire.Register(wireIDDeclineMsg, declineMsg{},
+		func(b []byte, v any) ([]byte, error) { return v.(declineMsg).appendWire(b), nil },
+		func(r *wire.Reader, prev any) any {
+			var q declineMsg
+			q.decodeWire(r)
+			return q
+		})
+	wire.Register(wireIDAcquireBatchReq, acquireBatchReq{},
+		func(b []byte, v any) ([]byte, error) { return v.(acquireBatchReq).appendWire(b), nil },
+		func(r *wire.Reader, prev any) any {
+			var q acquireBatchReq
+			if p, ok := prev.(acquireBatchReq); ok {
+				q = p
+			}
+			q.decodeWire(r)
+			return q
+		})
+	wire.Register(wireIDAcquireBatchResp, acquireBatchResp{},
+		func(b []byte, v any) ([]byte, error) { return v.(acquireBatchResp).appendWire(b), nil },
+		func(r *wire.Reader, prev any) any {
+			var q acquireBatchResp
+			if p, ok := prev.(acquireBatchResp); ok {
+				q = p
+			}
+			q.decodeWire(r)
+			return q
+		})
+	wire.Register(wireIDCheckBatchReq, checkBatchReq{},
+		func(b []byte, v any) ([]byte, error) { return v.(checkBatchReq).appendWire(b), nil },
+		func(r *wire.Reader, prev any) any {
+			var q checkBatchReq
+			if p, ok := prev.(checkBatchReq); ok {
+				q = p
+			}
+			q.decodeWire(r)
+			return q
+		})
+	wire.Register(wireIDCheckBatchResp, checkBatchResp{},
+		func(b []byte, v any) ([]byte, error) { return v.(checkBatchResp).appendWire(b), nil },
+		func(r *wire.Reader, prev any) any {
+			var q checkBatchResp
+			if p, ok := prev.(checkBatchResp); ok {
+				q = p
+			}
+			q.decodeWire(r)
+			return q
+		})
+	wire.Register(wireIDCommitObjBatchReq, commitObjBatchReq{},
+		func(b []byte, v any) ([]byte, error) { return v.(commitObjBatchReq).appendWire(b) },
+		func(r *wire.Reader, prev any) any {
+			var q commitObjBatchReq
+			if p, ok := prev.(commitObjBatchReq); ok {
+				q = p
+			}
+			q.decodeWire(r)
+			return q
+		})
+	wire.Register(wireIDCommitObjBatchResp, commitObjBatchResp{},
+		func(b []byte, v any) ([]byte, error) { return v.(commitObjBatchResp).appendWire(b), nil },
+		func(r *wire.Reader, prev any) any {
+			var q commitObjBatchResp
+			if p, ok := prev.(commitObjBatchResp); ok {
+				q = p
+			}
+			q.decodeWire(r)
+			return q
+		})
+}

@@ -1,0 +1,154 @@
+package stm
+
+import (
+	"strings"
+	"testing"
+
+	"dstm/internal/wire"
+)
+
+// TestWireCodecZeroAlloc is the codec perf gate run by scripts/ci.sh: the
+// binary encode AND the decode-in-place of every hot commit-pipeline
+// payload must not allocate in steady state (after the intern table and
+// reusable slices are warm). A regression here silently reintroduces
+// per-message garbage on the TCP path.
+func TestWireCodecZeroAlloc(t *testing.T) {
+	for _, c := range wireBenchCases() {
+		c := c
+		t.Run("encode/"+c.name, func(t *testing.T) {
+			buf := make([]byte, 0, 1024)
+			allocs := testing.AllocsPerRun(200, func() {
+				b, err := c.enc(buf[:0])
+				if err != nil || len(b) == 0 {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("encode %s allocates %.1f/op; want 0", c.name, allocs)
+			}
+		})
+		t.Run("decode/"+c.name, func(t *testing.T) {
+			enc, err := c.enc(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := wire.NewReader(nil)
+			// Warm: populate the intern table and the reused slices/values.
+			r.Reset(enc)
+			c.dec(r)
+			if err := r.Err(); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				r.Reset(enc)
+				c.dec(r)
+			})
+			if err := r.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if allocs != 0 {
+				t.Errorf("decode %s allocates %.1f/op; want 0", c.name, allocs)
+			}
+		})
+	}
+}
+
+// TestWireCodecBenchRuns sanity-checks the rtsbench helper: every row must
+// measure a non-empty encoding and the binary format must not be larger
+// than gob's steady-state stream for these payloads.
+func TestWireCodecBenchRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench helper loop is slow under -short")
+	}
+	rows := WireCodecBench(2000)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range rows {
+		if row.BinaryBytes <= 0 || row.GobBytes <= 0 {
+			t.Errorf("%s: sizes binary=%d gob=%d", row.Payload, row.BinaryBytes, row.GobBytes)
+		}
+		if row.BinaryBytes > row.GobBytes {
+			t.Errorf("%s: binary (%dB) larger than gob (%dB)", row.Payload, row.BinaryBytes, row.GobBytes)
+		}
+		// ReadMemStats-based counting picks up stray runtime allocations, so
+		// allow a small residue here; TestWireCodecZeroAlloc is the strict
+		// gate (AllocsPerRun isolates the measured function).
+		if row.DecAllocsPerOp > 0.01 || row.EncAllocsPerOp > 0.01 {
+			t.Errorf("%s: allocs enc=%.4f dec=%.4f; want ~0", row.Payload, row.EncAllocsPerOp, row.DecAllocsPerOp)
+		}
+	}
+}
+
+// TestWireDecodeReuse verifies the decode-into path reuses prior state
+// without leaking values across messages: decoding a shorter batch after a
+// longer one must not resurrect stale entries.
+func TestWireDecodeReuse(t *testing.T) {
+	long := acquireBatchReq{TxID: 1}
+	for _, oid := range benchOids(8) {
+		long.Entries = append(long.Entries, verEntry{Oid: oid})
+	}
+	short := acquireBatchReq{TxID: 2, Entries: long.Entries[:2:2]}
+
+	var dst acquireBatchReq
+	r := wire.NewReader(nil)
+	r.Reset(long.appendWire(nil))
+	dst.decodeWire(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.Entries) != 8 {
+		t.Fatalf("long decode: %d entries", len(dst.Entries))
+	}
+	r.Reset(short.appendWire(nil))
+	dst.decodeWire(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.TxID != 2 || len(dst.Entries) != 2 {
+		t.Fatalf("short decode after long: tx=%d entries=%d", dst.TxID, len(dst.Entries))
+	}
+	if !strings.HasSuffix(string(dst.Entries[1].Oid), "/1") {
+		t.Fatalf("entry 1 oid %q", dst.Entries[1].Oid)
+	}
+}
+
+func BenchmarkWireEncode(b *testing.B) {
+	for _, c := range wireBenchCases() {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			buf := make([]byte, 0, 1024)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if buf, err = c.enc(buf[:0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	for _, c := range wireBenchCases() {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			enc, err := c.enc(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := wire.NewReader(nil)
+			r.Reset(enc)
+			c.dec(r)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reset(enc)
+				c.dec(r)
+			}
+			if err := r.Err(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"fmt"
+
+	"dstm/internal/wire"
+)
+
+// Binary frame body layout (the TCP transport length-prefixes each body
+// with a u32 big-endian byte count; see DESIGN.md "Wire format"):
+//
+//	ver:u8(=1)  from:varint  to:varint  clock:uvarint  kind:uvarint
+//	corr:uvarint  flags:u8(bit0=IsReply)  payload:any
+//
+// The payload is a wire type ID followed by the registered binary
+// encoding (or a gob blob for unregistered types).
+const frameVersion = 1
+
+// flag bits of the frame header.
+const flagIsReply = 1 << 0
+
+// AppendMessage appends m's binary frame body to b. It allocates nothing
+// beyond growing b when the payload type has a registered wire codec.
+func AppendMessage(b []byte, m *Message) ([]byte, error) {
+	b = append(b, frameVersion)
+	b = wire.AppendVarint(b, int64(m.From))
+	b = wire.AppendVarint(b, int64(m.To))
+	b = wire.AppendUvarint(b, m.Clock)
+	b = wire.AppendUvarint(b, uint64(m.Kind))
+	b = wire.AppendUvarint(b, m.Corr)
+	var flags byte
+	if m.IsReply {
+		flags |= flagIsReply
+	}
+	b = append(b, flags)
+	return wire.AppendAny(b, m.Payload)
+}
+
+// DecodeMessage decodes one frame body into m using r (whose intern
+// table makes recurring object IDs allocation-free). It returns an error
+// — never panics — on malformed input.
+func DecodeMessage(r *wire.Reader, m *Message) error {
+	if r.Len() < 1 {
+		return wire.ErrTruncated
+	}
+	ver := r.Uvarint()
+	if ver != frameVersion {
+		return fmt.Errorf("%w: frame version %d", wire.ErrMalformed, ver)
+	}
+	m.From = NodeID(r.Varint())
+	m.To = NodeID(r.Varint())
+	m.Clock = r.Uvarint()
+	kind := r.Uvarint()
+	if kind > 1<<16-1 {
+		return fmt.Errorf("%w: kind %d out of range", wire.ErrMalformed, kind)
+	}
+	m.Kind = Kind(kind)
+	m.Corr = r.Uvarint()
+	flags := r.Uvarint()
+	if flags > 0xff {
+		return fmt.Errorf("%w: flag byte %d", wire.ErrMalformed, flags)
+	}
+	m.IsReply = flags&flagIsReply != 0
+	m.Payload = r.Any(nil)
+	return r.Err()
+}

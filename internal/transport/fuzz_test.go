@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/gob"
 	"testing"
+
+	"dstm/internal/wire"
 )
 
 // fuzzPayload is a registered concrete payload type for round-trip fuzzing
@@ -53,6 +55,47 @@ func FuzzMessageGobRoundTrip(f *testing.F) {
 		if p.S != s || p.N != n || !bytes.Equal(p.B, b) {
 			t.Fatalf("payload changed: %+v -> %+v", in.Payload, p)
 		}
+
+		// Differential oracle: the binary frame codec must agree with the
+		// gob decode on every header field and the payload.
+		enc, err := AppendMessage(nil, &in)
+		if err != nil {
+			t.Fatalf("binary encode: %v", err)
+		}
+		var bout Message
+		if err := DecodeMessage(wire.NewReader(enc), &bout); err != nil {
+			t.Fatalf("binary decode of own encoding: %v", err)
+		}
+		if bout.From != out.From || bout.To != out.To || bout.Clock != out.Clock ||
+			bout.Kind != out.Kind || bout.Corr != out.Corr || bout.IsReply != out.IsReply {
+			t.Fatalf("binary header disagrees with gob: %+v vs %+v", bout, out)
+		}
+		bp, ok := bout.Payload.(fuzzPayload)
+		if !ok {
+			t.Fatalf("binary payload type: %T", bout.Payload)
+		}
+		if bp.S != p.S || bp.N != p.N || !bytes.Equal(bp.B, p.B) {
+			t.Fatalf("binary payload disagrees with gob: %+v vs %+v", bp, p)
+		}
+	})
+}
+
+// FuzzMessageBinaryDecode feeds arbitrary bytes to the binary frame decoder
+// the TCP transport runs on every inbound frame: like its gob counterpart
+// below, it must reject garbage with an error, never a panic or an
+// unbounded allocation.
+func FuzzMessageBinaryDecode(f *testing.F) {
+	valid, err := AppendMessage(nil, &Message{From: 1, To: 2, Kind: 10, Corr: 3,
+		Payload: fuzzPayload{S: "s", B: []byte{1}, N: 2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		_ = DecodeMessage(wire.NewReader(data), &m) // must not panic
 	})
 }
 

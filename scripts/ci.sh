@@ -1,68 +1,137 @@
 #!/bin/sh
-# Tier-1 verification: vet, build, test, race-test, a short fuzz pass, and
-# a coverage soft floor on the core protocol packages.
-# Mirrors `make verify`; kept as a script for CI systems without make.
+# Tier-1 verification, split into composable stages so CI systems can run
+# them as separate jobs and developers can re-run just the piece they
+# broke. `make verify` delegates here.
+#
+# Usage: scripts/ci.sh [stage]
+#   vet    go vet + go build
+#   test   go test with the protocol-package coverage floor
+#   race   full suite under the race detector
+#   perf   perf smokes: commit-pipeline msgs/commit bound, the
+#          zero-allocation wire-codec gate, the open-loop stability
+#          smoke, the wire experiment (writes results/BENCH_wire.json,
+#          gated on 0 allocs/op and >= 2x gob pump throughput), and a
+#          3-process dstmnode open-loop bank smoke over real TCP
+#   fuzz   every fuzz target for CI_FUZZTIME each (differential
+#          gob <-> binary oracles included)
+#   all    all of the above, in that order (default)
 #
 # Environment knobs:
 #   CI_FUZZTIME    per-target fuzz budget (default 3s; "0" skips fuzzing)
 #   CI_COV_FLOOR   minimum combined coverage % for internal/stm +
-#                  internal/core (default 70). A shortfall warns by
-#                  default; set CI_COV_STRICT=1 to make it fail the run.
+#                  internal/core (default 70). Enforced by default;
+#                  set CI_COV_STRICT=0 to downgrade a shortfall to a
+#                  warning.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 CI_FUZZTIME="${CI_FUZZTIME:-3s}"
 CI_COV_FLOOR="${CI_COV_FLOOR:-70}"
-CI_COV_STRICT="${CI_COV_STRICT:-0}"
+CI_COV_STRICT="${CI_COV_STRICT:-1}"
 
-echo "== go vet ./..."
-go vet ./...
+stage_vet() {
+    echo "== go vet ./..."
+    go vet ./...
 
-echo "== go build ./..."
-go build ./...
+    echo "== go build ./..."
+    go build ./...
+}
 
-echo "== go test ./... (with coverage on internal/stm + internal/core)"
-go test -coverprofile=coverage.out -coverpkg=dstm/internal/stm,dstm/internal/core ./...
+stage_test() {
+    echo "== go test ./... (with coverage on internal/stm + internal/core)"
+    go test -coverprofile=coverage.out -coverpkg=dstm/internal/stm,dstm/internal/core ./...
 
-cov=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
-echo "== coverage (internal/stm + internal/core): ${cov}% (floor ${CI_COV_FLOOR}%)"
-if [ "$(awk -v c="$cov" -v f="$CI_COV_FLOOR" 'BEGIN {print (c < f)}')" = 1 ]; then
-    if [ "$CI_COV_STRICT" = 1 ]; then
-        echo "coverage ${cov}% is below the ${CI_COV_FLOOR}% floor" >&2
-        exit 1
+    cov=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+    echo "== coverage (internal/stm + internal/core): ${cov}% (floor ${CI_COV_FLOOR}%)"
+    if [ "$(awk -v c="$cov" -v f="$CI_COV_FLOOR" 'BEGIN {print (c < f)}')" = 1 ]; then
+        if [ "$CI_COV_STRICT" = 1 ]; then
+            echo "coverage ${cov}% is below the ${CI_COV_FLOOR}% floor" >&2
+            exit 1
+        fi
+        echo "WARNING: coverage ${cov}% is below the ${CI_COV_FLOOR}% soft floor" >&2
     fi
-    echo "WARNING: coverage ${cov}% is below the ${CI_COV_FLOOR}% soft floor" >&2
-fi
+}
 
-echo "== go test -race ./..."
-go test -race ./...
+stage_race() {
+    echo "== go test -race ./..."
+    go test -race ./...
+}
 
-# Commit-pipeline perf smoke: an 8-object transaction spread over 2 owners
-# must finish its commit phases within the owner-grouped batch bound
-# (per-owner rounds, not per-object messages).
-echo "== commit-pipeline msgs/commit bound"
-go test ./internal/stm/ -run TestCommitMsgsBoundEightObjectsTwoOwners -count=1
+stage_perf() {
+    # Commit-pipeline perf smoke: an 8-object transaction spread over 2
+    # owners must finish its commit phases within the owner-grouped batch
+    # bound (per-owner rounds, not per-object messages).
+    echo "== commit-pipeline msgs/commit bound"
+    go test ./internal/stm/ -run TestCommitMsgsBoundEightObjectsTwoOwners -count=1
 
-# Open-loop stability smoke: one small Zipfian cell per scheduler at a
-# rate calibrated well inside capacity. -faildiverging turns a diverging
-# queue verdict for RTS into a CI failure.
-echo "== open-loop stability smoke (zipf @ 250/s)"
-go run ./cmd/rtsbench -experiment stability -bench bank -skews zipf \
-    -arrivals poisson -rates 250 -nodes 3 -workers 2 -duration 100ms \
-    -delayscale 0.002 -stabilityjson /tmp/ci_stability.json -faildiverging
+    # Wire-codec allocation gate: encoding and (warm) decoding the hot
+    # protocol payloads — Retrieve, AcquireBatch, CommitObjectBatch —
+    # must be allocation-free on the binary codec.
+    echo "== wire-codec zero-alloc gate"
+    go test ./internal/stm/ -run TestWireCodecZeroAlloc -count=1
 
-if [ "$CI_FUZZTIME" != 0 ]; then
+    # Open-loop stability smoke: one small Zipfian cell per scheduler at a
+    # rate calibrated well inside capacity. -faildiverging turns a diverging
+    # queue verdict for RTS into a CI failure.
+    echo "== open-loop stability smoke (zipf @ 250/s)"
+    go run ./cmd/rtsbench -experiment stability -bench bank -skews zipf \
+        -arrivals poisson -rates 250 -nodes 3 -workers 2 -duration 100ms \
+        -delayscale 0.002 -stabilityjson /tmp/ci_stability.json -faildiverging
+
+    # Wire experiment: codec micro-benchmarks, the gob-vs-binary message
+    # pump, and memnet-vs-TCP bank cells. The gate fails the run unless
+    # the binary codec is allocation-free and >= 2x gob's pump throughput.
+    echo "== wire experiment (results/BENCH_wire.json)"
+    go run ./cmd/rtsbench -experiment wire -duration 500ms \
+        -wirejson results/BENCH_wire.json -wiregate
+
+    # Multi-process smoke: a real 3-process cluster over loopback TCP,
+    # driven open-loop, must complete with a clean conservation check.
+    echo "== dstmnode 3-process open-loop smoke"
+    go run ./cmd/dstmnode -spawn 3 -duration 2s -accounts 8 \
+        -openloop -rate 300 -zipf 0.8
+}
+
+stage_fuzz() {
+    if [ "$CI_FUZZTIME" = 0 ]; then
+        echo "== fuzzing skipped (CI_FUZZTIME=0)"
+        return
+    fi
     echo "== fuzz targets (${CI_FUZZTIME} each)"
     go test ./internal/trace/ -fuzz FuzzReadJSONL -fuzztime "$CI_FUZZTIME"
     go test ./internal/trace/ -fuzz FuzzEventRoundTrip -fuzztime "$CI_FUZZTIME"
+    # Transport and protocol round trips are differential oracles: every
+    # input is encoded with both gob and the binary codec and the decoded
+    # results must agree exactly.
     go test ./internal/transport/ -fuzz FuzzMessageGobRoundTrip -fuzztime "$CI_FUZZTIME"
     go test ./internal/transport/ -fuzz FuzzMessageGobDecode -fuzztime "$CI_FUZZTIME"
+    go test ./internal/transport/ -fuzz FuzzMessageBinaryDecode -fuzztime "$CI_FUZZTIME"
     go test ./internal/stm/ -fuzz FuzzRetrieveRoundTrip -fuzztime "$CI_FUZZTIME"
     go test ./internal/stm/ -fuzz FuzzCommitPushRoundTrip -fuzztime "$CI_FUZZTIME"
     go test ./internal/stm/ -fuzz FuzzAcquireCheckBatchRoundTrip -fuzztime "$CI_FUZZTIME"
     go test ./internal/stm/ -fuzz FuzzCommitObjBatchRoundTrip -fuzztime "$CI_FUZZTIME"
     go test ./internal/cc/ -fuzz FuzzDirectoryBatchRoundTrip -fuzztime "$CI_FUZZTIME"
-fi
+}
 
-echo "CI OK"
+stage="${1:-all}"
+case "$stage" in
+vet) stage_vet ;;
+test) stage_test ;;
+race) stage_race ;;
+perf) stage_perf ;;
+fuzz) stage_fuzz ;;
+all)
+    stage_vet
+    stage_test
+    stage_race
+    stage_perf
+    stage_fuzz
+    ;;
+*)
+    echo "usage: $0 [vet|test|race|perf|fuzz|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "CI OK ($stage)"
