@@ -1,0 +1,154 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dstm/internal/harness"
+)
+
+// readScaleRow is one (arm, scheduler, transport, read-ratio) cell of the
+// read-path report. The "mvcc" arm routes read-only transactions onto the
+// snapshot path (Config.ROReads) and enables the requester replica cache;
+// the "ownership" arm is the pre-MVCC baseline where every read acquires
+// the object through the ownership protocol.
+type readScaleRow struct {
+	Arm       string  `json:"arm"` // "ownership" | "mvcc"
+	Scheduler string  `json:"scheduler"`
+	Transport string  `json:"transport"`
+	ReadRatio float64 `json:"read_ratio"`
+
+	Commits         uint64  `json:"commits"`
+	Aborts          uint64  `json:"aborts"`
+	ThroughputTPS   float64 `json:"throughput_tps"`
+	ReadOnlyCommits uint64  `json:"read_only_commits"`
+	ReadMsgs        uint64  `json:"read_msgs"`
+	// ReadMsgsPerROCommit is the gate metric: data-path read RPCs per
+	// committed read-only transaction, comparable across arms.
+	ReadMsgsPerROCommit float64 `json:"read_msgs_per_ro_commit"`
+	SnapReads           uint64  `json:"snap_reads"`
+	ReplicaHits         uint64  `json:"replica_hits"`
+	ROUpgrades          uint64  `json:"ro_upgrades"`
+	MsgsPerCommit       float64 `json:"msgs_per_commit"`
+}
+
+// readScaleDoc is the whole BENCH_read.json document.
+type readScaleDoc struct {
+	Experiment     string         `json:"experiment"`
+	Benchmark      string         `json:"benchmark"`
+	Nodes          int            `json:"nodes"`
+	WorkersPerNode int            `json:"workers_per_node"`
+	ObjectsPerNode int            `json:"objects_per_node"`
+	DurationMs     int64          `json:"duration_ms"`
+	Seed           int64          `json:"seed"`
+	Rows           []readScaleRow `json:"rows"`
+}
+
+// runReadScale sweeps arm (ownership vs MVCC) × scheduler × transport ×
+// read ratio on the Bank benchmark (its audit transaction is the suite's
+// canonical bulk read) and writes results/BENCH_read.json. With gate, the
+// run fails unless at the 90%-read mix the MVCC arm's read-path msgs per
+// read-only commit is strictly below the ownership baseline's for every
+// (scheduler, transport) pair — the CI regression gate for the snapshot
+// read path.
+func runReadScale(ctx context.Context, base harness.Config, transports string,
+	ratios []float64, path string, gate bool) error {
+	doc := readScaleDoc{Experiment: "readscale", Benchmark: string(harness.BenchBank), Seed: base.Seed}
+	// baselineAt[key] remembers the ownership arm's gate metric so the mvcc
+	// arm can be compared cell-for-cell.
+	type key struct {
+		sched     harness.Scheduler
+		transport string
+		ratio     float64
+	}
+	baselineAt := make(map[key]float64)
+	var gateErrs []string
+
+	for _, tr := range strings.Split(transports, ",") {
+		tr = strings.TrimSpace(tr)
+		for _, sc := range harness.Schedulers {
+			for _, ratio := range ratios {
+				for _, arm := range []string{"ownership", "mvcc"} {
+					cfg := base
+					cfg.Benchmark = harness.BenchBank
+					cfg.Scheduler = sc
+					cfg.Transport = tr
+					cfg.ReadRatio = ratio
+					if arm == "mvcc" {
+						cfg.ROReads = true
+						cfg.ReplicaLease = 50 * time.Millisecond
+					}
+					res, err := harness.Run(ctx, cfg)
+					if err != nil {
+						return err
+					}
+					if res.CheckErr != nil {
+						return fmt.Errorf("readscale %s/%s/%s invariant: %w", arm, sc, tr, res.CheckErr)
+					}
+					if res.ProtocolErr != nil {
+						return fmt.Errorf("readscale %s/%s/%s protocol trace: %w", arm, sc, tr, res.ProtocolErr)
+					}
+					m := res.Metrics
+					row := readScaleRow{
+						Arm:                 arm,
+						Scheduler:           string(sc),
+						Transport:           tr,
+						ReadRatio:           ratio,
+						Commits:             m.Commits,
+						Aborts:              m.TotalAborts(),
+						ThroughputTPS:       res.Throughput(),
+						ReadOnlyCommits:     m.ReadOnlyCommits,
+						ReadMsgs:            m.ReadMsgs,
+						ReadMsgsPerROCommit: m.ReadMsgsPerROCommit(),
+						SnapReads:           m.SnapReads,
+						ReplicaHits:         m.ReplicaHits,
+						ROUpgrades:          m.ROUpgrades,
+						MsgsPerCommit:       m.MsgsPerCommit(),
+					}
+					doc.Rows = append(doc.Rows, row)
+					doc.Nodes = res.Config.Nodes
+					doc.WorkersPerNode = res.Config.WorkersPerNode
+					doc.ObjectsPerNode = res.Config.ObjectsPerNode
+					doc.DurationMs = res.Config.Duration.Milliseconds()
+					fmt.Printf("%-9s %-12s %-7s read %2.0f%%  %8.1f tx/s  ro-commits %6d  read-msgs/ro %5.2f\n",
+						arm, sc, tr, 100*ratio, res.Throughput(), row.ReadOnlyCommits, row.ReadMsgsPerROCommit)
+
+					k := key{sc, tr, ratio}
+					if arm == "ownership" {
+						baselineAt[k] = row.ReadMsgsPerROCommit
+					} else if ratio >= 0.9 {
+						if own, ok := baselineAt[k]; ok && row.ReadMsgsPerROCommit >= own {
+							gateErrs = append(gateErrs, fmt.Sprintf(
+								"%s/%s@%.0f%%: mvcc %.2f >= ownership %.2f read msgs/ro-commit",
+								sc, tr, 100*ratio, row.ReadMsgsPerROCommit, own))
+						}
+					}
+				}
+			}
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(doc)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("readscale json: %w", werr)
+	}
+	fmt.Printf("wrote %s (%d cells)\n", path, len(doc.Rows))
+	if gate && len(gateErrs) > 0 {
+		return fmt.Errorf("snapshot read path did not beat the ownership baseline: %s",
+			strings.Join(gateErrs, "; "))
+	}
+	return nil
+}

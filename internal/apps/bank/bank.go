@@ -131,32 +131,35 @@ func (b *Bank) batchTransfer(ctx context.Context, rt *stm.Runtime, rng *rand.Ran
 	})
 }
 
-// audit is the read transaction: sum a contiguous window of accounts, each
-// read inside a nested transaction.
+// audit is the read transaction: sum a window of accounts in one bulk read.
+// AtomicRead routes it onto the MVCC snapshot path when the runtime's
+// read-only-reads knob is on (one snapshot-read batch per owner, no locks)
+// and onto the ownership protocol otherwise.
 func (b *Bank) audit(ctx context.Context, rt *stm.Runtime, rng *rand.Rand) error {
 	start := b.pick(rng, b.accounts)
 	span := b.opts.AuditSpan
-	return rt.Atomic(ctx, "bank/audit", func(tx *stm.Txn) error {
+	oids := make([]object.ID, span)
+	for i := range oids {
+		oids[i] = AccountID((start + i) % b.accounts)
+	}
+	return rt.AtomicRead(ctx, "bank/audit", func(tx *stm.Txn) error {
+		vals, err := tx.ReadMany(ctx, oids)
+		if err != nil {
+			return err
+		}
 		var sum int64
-		return tx.Atomic(ctx, "bank/audit/sum", func(c *stm.Txn) error {
-			sum = 0
-			for i := 0; i < span; i++ {
-				v, err := c.Read(ctx, AccountID((start+i)%b.accounts))
-				if err != nil {
-					return err
-				}
-				sum += v.(*Account).Balance
-			}
-			_ = sum
-			return nil
-		})
+		for _, v := range vals {
+			sum += v.(*Account).Balance
+		}
+		_ = sum
+		return nil
 	})
 }
 
 // TotalBalance sums every account in one transaction.
 func (b *Bank) TotalBalance(ctx context.Context, rt *stm.Runtime) (int64, error) {
 	var total int64
-	err := rt.Atomic(ctx, "bank/total", func(tx *stm.Txn) error {
+	err := rt.AtomicRead(ctx, "bank/total", func(tx *stm.Txn) error {
 		total = 0
 		for i := 0; i < b.accounts; i++ {
 			v, err := tx.Read(ctx, AccountID(i))

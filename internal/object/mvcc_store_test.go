@@ -1,0 +1,181 @@
+package object
+
+import "testing"
+
+// commitVersions drives id through committed versions at the given clocks
+// (node 0), locking with the expected current version each time.
+func commitVersions(t *testing.T, s *Store, id ID, clocks ...uint64) {
+	t.Helper()
+	for i, c := range clocks {
+		cur, _ := s.Version(id)
+		if res := s.Lock(id, uint64(i+1), cur); res != LockOK {
+			t.Fatalf("lock for clock %d: %v", c, res)
+		}
+		if err := s.UpdateCommitted(id, &intBox{N: int64(c)}, Version{Clock: c}, uint64(i+1)); err != nil {
+			t.Fatalf("commit clock %d: %v", c, err)
+		}
+	}
+}
+
+func TestSnapshotAtServesNewestAtOrBelow(t *testing.T) {
+	s := NewStore()
+	s.Install("x", &intBox{N: 10}, Version{Clock: 10})
+	commitVersions(t, s, "x", 20, 30, 40)
+
+	cases := []struct {
+		at     uint64
+		want   int64 // value == its version clock in this fixture
+		status SnapStatus
+	}{
+		{at: 45, want: 40, status: SnapOK}, // tip at or below snapshot
+		{at: 40, want: 40, status: SnapOK},
+		{at: 35, want: 30, status: SnapOK}, // chain serves
+		{at: 20, want: 20, status: SnapOK},
+		{at: 10, want: 10, status: SnapOK}, // chain tail (limit 3 holds 30,20,10)
+		{at: 5, status: SnapTooOld},        // predates everything retained
+	}
+	for _, c := range cases {
+		val, ver, st := s.SnapshotAt("x", c.at, 99)
+		if st != c.status {
+			t.Fatalf("at=%d: status %v, want %v", c.at, st, c.status)
+		}
+		if st != SnapOK {
+			continue
+		}
+		if ver.Clock != uint64(c.want) || val.(*intBox).N != c.want {
+			t.Fatalf("at=%d: served clock %d value %d, want %d", c.at, ver.Clock, val.(*intBox).N, c.want)
+		}
+	}
+}
+
+func TestSnapshotChainBounded(t *testing.T) {
+	s := NewStore()
+	s.SetChainLimit(2)
+	s.Install("x", &intBox{N: 1}, Version{Clock: 1})
+	commitVersions(t, s, "x", 2, 3, 4, 5)
+	// Chain holds only {4, 3}: version 2 was evicted, so snapshot 2 is gone.
+	if _, _, st := s.SnapshotAt("x", 2, 0); st != SnapTooOld {
+		t.Fatalf("evicted version still served: %v", st)
+	}
+	if _, ver, st := s.SnapshotAt("x", 3, 0); st != SnapOK || ver.Clock != 3 {
+		t.Fatalf("chain entry 3: status %v clock %d", st, ver.Clock)
+	}
+}
+
+func TestSnapshotChainLimitZeroDisablesRetention(t *testing.T) {
+	s := NewStore()
+	s.SetChainLimit(0)
+	s.Install("x", &intBox{N: 1}, Version{Clock: 1})
+	commitVersions(t, s, "x", 2, 3)
+	if _, _, st := s.SnapshotAt("x", 2, 0); st != SnapTooOld {
+		t.Fatalf("retention disabled but old version served: %v", st)
+	}
+	if _, ver, st := s.SnapshotAt("x", 3, 0); st != SnapOK || ver.Clock != 3 {
+		t.Fatalf("tip must still serve: %v clock %d", st, ver.Clock)
+	}
+	// Negative limits clamp to 0.
+	s.SetChainLimit(-7)
+	if got := s.ChainLimit(); got != 0 {
+		t.Fatalf("negative limit clamped to %d, want 0", got)
+	}
+}
+
+func TestSnapshotRetryWhileTipLockedAtOrBelow(t *testing.T) {
+	s := NewStore()
+	s.Install("x", &intBox{N: 1}, Version{Clock: 5})
+	if res := s.Lock("x", 7, Version{Clock: 5}); res != LockOK {
+		t.Fatalf("lock: %v", res)
+	}
+	// Tip (5) qualifies for snapshot 9, but a pending install could still
+	// land at clock <= 9: the store must refuse rather than risk serving a
+	// version that stops being the newest-at-or-below.
+	if _, _, st := s.SnapshotAt("x", 9, 0); st != SnapRetry {
+		t.Fatalf("locked qualifying tip served: %v, want retry", st)
+	}
+	// Chain entries are stable history: they serve even while locked.
+	s2 := NewStore()
+	s2.Install("y", &intBox{N: 1}, Version{Clock: 1})
+	commitVersions(t, s2, "y", 2, 8)
+	if res := s2.Lock("y", 9, Version{Clock: 8}); res != LockOK {
+		t.Fatalf("lock y: %v", res)
+	}
+	if _, ver, st := s2.SnapshotAt("y", 5, 0); st != SnapOK || ver.Clock != 2 {
+		t.Fatalf("chain serve while locked: %v clock %d, want ok clock 2", st, ver.Clock)
+	}
+}
+
+func TestSnapshotNotOwner(t *testing.T) {
+	s := NewStore()
+	if _, _, st := s.SnapshotAt("missing", 5, 0); st != SnapNotOwner {
+		t.Fatalf("status %v, want not-owner", st)
+	}
+}
+
+func TestReadAtOrLatestAdvances(t *testing.T) {
+	s := NewStore()
+	s.SetChainLimit(1)
+	s.Install("x", &intBox{N: 1}, Version{Clock: 10})
+	commitVersions(t, s, "x", 20)
+	// Snapshot 5 predates everything: strict read refuses, advance serves
+	// the tip so a first read can re-pin its snapshot.
+	if _, _, st := s.SnapshotAt("x", 5, 0); st != SnapTooOld {
+		t.Fatalf("strict read: %v, want too-old", st)
+	}
+	val, ver, st := s.ReadAtOrLatest("x", 5, 0)
+	if st != SnapOK || ver.Clock != 20 || val.(*intBox).N != 20 {
+		t.Fatalf("advance: %v clock %d, want ok clock 20", st, ver.Clock)
+	}
+	// The advance path never serves a locked tip.
+	if res := s.Lock("x", 3, ver); res != LockOK {
+		t.Fatalf("lock: %v", res)
+	}
+	if _, _, st := s.ReadAtOrLatest("x", 5, 0); st != SnapTooOld {
+		t.Fatalf("advance served a locked tip: %v", st)
+	}
+}
+
+func TestSnapshotServesDeepCopies(t *testing.T) {
+	s := NewStore()
+	s.Install("x", &intBox{N: 1}, Version{Clock: 1})
+	commitVersions(t, s, "x", 2)
+	// Mutating a served copy must not corrupt the retained chain.
+	val, _, st := s.SnapshotAt("x", 1, 0)
+	if st != SnapOK {
+		t.Fatalf("status %v", st)
+	}
+	val.(*intBox).N = 999
+	val2, _, _ := s.SnapshotAt("x", 1, 0)
+	if val2.(*intBox).N != 1 {
+		t.Fatalf("chain entry corrupted through served copy: %d", val2.(*intBox).N)
+	}
+}
+
+func TestSnapshotTraceEmitsUnderOrder(t *testing.T) {
+	s := NewStore()
+	var ops []string
+	var served []uint64
+	s.SetTrace(func(op string, id ID, tx, a, b uint64) {
+		ops = append(ops, op)
+		if op == "snap-read" || op == "snap-advance" {
+			served = append(served, b)
+		}
+	})
+	s.Install("x", &intBox{N: 1}, Version{Clock: 1})
+	commitVersions(t, s, "x", 2)
+	s.SnapshotAt("x", 2, 0)
+	s.ReadAtOrLatest("x", 0, 0)
+	wantOps := map[string]bool{"install": false, "commit": false, "snap-read": false, "snap-advance": false}
+	for _, op := range ops {
+		if _, ok := wantOps[op]; ok {
+			wantOps[op] = true
+		}
+	}
+	for op, seen := range wantOps {
+		if !seen {
+			t.Fatalf("trace op %q never emitted (got %v)", op, ops)
+		}
+	}
+	if len(served) != 2 || served[0] != 2 || served[1] != 2 {
+		t.Fatalf("served clocks %v, want [2 2]", served)
+	}
+}

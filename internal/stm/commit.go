@@ -94,8 +94,14 @@ func (tx *Txn) commit(ctx context.Context) error {
 		}
 	}
 	// Read-only transactions commit without further validation: TFA's
-	// forwarding kept their snapshot consistent as of tx.start.
+	// forwarding kept their snapshot consistent as of tx.start, and an
+	// AtomicRO chain that stayed read-only was served consistent at its
+	// pinned snapshot clock. Either way the commit costs zero messages;
+	// the attempt's data-path read RPCs are charged to the read-path
+	// counters the readscale experiment compares.
 	if len(writes) == 0 && len(creates) == 0 {
+		rt.metrics.readOnlyCommits.Add(1)
+		rt.metrics.readMsgs.Add(tx.readRPCs)
 		return nil
 	}
 	sortIDs(writes)
@@ -250,8 +256,13 @@ func (tx *Txn) acquireAll(ctx context.Context, writes []object.ID, locked map[ob
 				case object.LockOK:
 				case object.LockStale:
 					stale, notOwnerOnly = true, false
+					// A stale write-set version may have come from the replica
+					// cache: evict it or every retry re-reads the same stale
+					// copy and aborts again.
+					rt.replica.invalidate(g.oids[i], rt.metrics)
 				case object.LockNotOwner:
 					rt.locator.InvalidateHint(g.oids[i])
+					rt.replica.invalidate(g.oids[i], rt.metrics)
 				default: // LockBusy
 					busy, notOwnerOnly = true, false
 				}

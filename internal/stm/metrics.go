@@ -28,6 +28,11 @@ const (
 	// AbortParent: a closed-nested transaction was rolled back because an
 	// enclosing transaction aborted after the child had committed into it.
 	AbortParent
+	// AbortSnapshot: a read-only (MVCC) attempt could not be served at its
+	// pinned snapshot clock — the owner's retained version chain no longer
+	// reaches that far back, or a commit-locked tip forced a refusal. The
+	// retry pins a fresh snapshot.
+	AbortSnapshot
 	numAbortCauses
 )
 
@@ -43,6 +48,8 @@ func (c AbortCause) String() string {
 		return "lock-failed"
 	case AbortParent:
 		return "parent-abort"
+	case AbortSnapshot:
+		return "snapshot"
 	default:
 		return "unknown"
 	}
@@ -71,6 +78,14 @@ type Metrics struct {
 	leaseExpiries atomic.Uint64 // commit locks force-released by the lease reaper
 	commitMsgs    atomic.Uint64 // messages sent by successful commit pipelines
 	commitRounds  atomic.Uint64 // parallel batch rounds those messages formed
+
+	// MVCC read path.
+	readOnlyCommits atomic.Uint64 // commits that wrote nothing (incl. AtomicRO)
+	readMsgs        atomic.Uint64 // data-path read RPCs charged to those commits
+	snapReads       atomic.Uint64 // owner-side snapshot-read requests served
+	replicaHits     atomic.Uint64 // reads served from the requester replica cache
+	replicaInvals   atomic.Uint64 // replica entries dropped (expiry or proven stale)
+	roUpgrades      atomic.Uint64 // read-only attempts upgraded to read-write
 
 	// Per-outcome attempt latency: how long one top-level attempt ran
 	// before committing, or before aborting with each cause. The split
@@ -111,6 +126,22 @@ type MetricsSnapshot struct {
 	CommitMsgs   uint64
 	CommitRounds uint64
 
+	// ReadOnlyCommits counts commits whose transaction wrote nothing —
+	// plain Atomic roots with empty write sets and AtomicRO roots that
+	// stayed read-only. ReadMsgs counts the data-path read RPCs those
+	// commits issued (retrieves on the ownership path, snapshot reads on
+	// the MVCC path); ReadMsgs/ReadOnlyCommits is the read-path cost the
+	// readscale experiment gates on. SnapReads counts owner-side
+	// snapshot-read requests served; ReplicaHits / ReplicaInvals count
+	// requester replica-cache activity; ROUpgrades counts read-only
+	// attempts that hit a write and fell back to the ownership protocol.
+	ReadOnlyCommits uint64
+	ReadMsgs        uint64
+	SnapReads       uint64
+	ReplicaHits     uint64
+	ReplicaInvals   uint64
+	ROUpgrades      uint64
+
 	// Latency maps outcome (LatencyCommitKey or an AbortCause string) to
 	// that outcome's attempt-latency histogram.
 	Latency map[string]stats.HistSnapshot
@@ -130,6 +161,13 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		LeaseExpiries: m.leaseExpiries.Load(),
 		CommitMsgs:    m.commitMsgs.Load(),
 		CommitRounds:  m.commitRounds.Load(),
+
+		ReadOnlyCommits: m.readOnlyCommits.Load(),
+		ReadMsgs:        m.readMsgs.Load(),
+		SnapReads:       m.snapReads.Load(),
+		ReplicaHits:     m.replicaHits.Load(),
+		ReplicaInvals:   m.replicaInvals.Load(),
+		ROUpgrades:      m.roUpgrades.Load(),
 	}
 	s.Latency = make(map[string]stats.HistSnapshot, int(numAbortCauses)+1)
 	s.Latency[LatencyCommitKey] = m.commitLatency.Snapshot()
@@ -168,6 +206,18 @@ func (s MetricsSnapshot) RoundsPerCommit() float64 {
 	return float64(s.CommitRounds) / float64(s.Commits)
 }
 
+// ReadMsgsPerROCommit is the average number of data-path read RPCs per
+// read-only commit — the readscale experiment's gate metric. Comparable
+// across the ownership and MVCC read paths because both charge their read
+// RPCs (retrieves vs snapshot reads) to the same counter. Returns 0 when
+// nothing committed read-only.
+func (s MetricsSnapshot) ReadMsgsPerROCommit() float64 {
+	if s.ReadOnlyCommits == 0 {
+		return 0
+	}
+	return float64(s.ReadMsgs) / float64(s.ReadOnlyCommits)
+}
+
 // NestedAbortRate is Table I's metric: the fraction of nested-transaction
 // aborts caused by a parent's abort. Returns 0 when no nested aborts
 // occurred.
@@ -191,6 +241,12 @@ func (s *MetricsSnapshot) Merge(other MetricsSnapshot) {
 	s.LeaseExpiries += other.LeaseExpiries
 	s.CommitMsgs += other.CommitMsgs
 	s.CommitRounds += other.CommitRounds
+	s.ReadOnlyCommits += other.ReadOnlyCommits
+	s.ReadMsgs += other.ReadMsgs
+	s.SnapReads += other.SnapReads
+	s.ReplicaHits += other.ReplicaHits
+	s.ReplicaInvals += other.ReplicaInvals
+	s.ROUpgrades += other.ROUpgrades
 	if s.Aborts == nil {
 		s.Aborts = make(map[AbortCause]uint64, int(numAbortCauses))
 	}
@@ -221,6 +277,12 @@ func (s *MetricsSnapshot) Sub(base MetricsSnapshot) {
 	s.LeaseExpiries -= base.LeaseExpiries
 	s.CommitMsgs -= base.CommitMsgs
 	s.CommitRounds -= base.CommitRounds
+	s.ReadOnlyCommits -= base.ReadOnlyCommits
+	s.ReadMsgs -= base.ReadMsgs
+	s.SnapReads -= base.SnapReads
+	s.ReplicaHits -= base.ReplicaHits
+	s.ReplicaInvals -= base.ReplicaInvals
+	s.ROUpgrades -= base.ROUpgrades
 	for c, v := range base.Aborts {
 		if s.Aborts != nil {
 			s.Aborts[c] -= v

@@ -1,0 +1,108 @@
+package stm
+
+import (
+	"sync"
+	"time"
+
+	"dstm/internal/object"
+)
+
+// replicaCache is the requester-side read cache of the MVCC read path:
+// object copies adopted from fetches are retained with their versions and
+// served to later read-write transactions' reads without a retrieve RPC.
+//
+// Cached reads are speculative replicas, not authoritative state — the
+// entry joins the reading transaction's read set with its cached version
+// and is validated by version at commit (checkVersions), exactly like a
+// read served by the owner. Safety therefore never depends on the cache
+// being fresh; the lease and the invalidation hooks only bound how long a
+// stale replica keeps causing validation aborts:
+//
+//   - lease expiry evicts an entry at its next get;
+//   - a version check answering "stale" or "not owner" evicts it
+//     (ownership-change/epoch invalidation);
+//   - a newer fetched copy overwrites it.
+//
+// Read-only (AtomicRO) transactions never read from here: they must see
+// the newest version at or below their pinned snapshot, which only the
+// owner's versioned store can decide.
+type replicaCache struct {
+	lease time.Duration
+
+	mu      sync.Mutex
+	entries map[object.ID]replicaEntry
+}
+
+type replicaEntry struct {
+	val object.Value
+	ver object.Version
+	exp time.Time
+}
+
+func newReplicaCache(lease time.Duration) *replicaCache {
+	return &replicaCache{lease: lease, entries: make(map[object.ID]replicaEntry)}
+}
+
+// get returns a copy of the cached value for oid when present and within
+// its lease. An expired entry is evicted (counted into m, which may be
+// nil). Nil-safe.
+func (rc *replicaCache) get(oid object.ID, m *Metrics) (object.Value, object.Version, bool) {
+	if rc == nil {
+		return nil, object.Version{}, false
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	e, ok := rc.entries[oid]
+	if !ok {
+		return nil, object.Version{}, false
+	}
+	if time.Now().After(e.exp) {
+		delete(rc.entries, oid)
+		if m != nil {
+			m.replicaInvals.Add(1)
+		}
+		return nil, object.Version{}, false
+	}
+	return e.val.Copy(), e.ver, true
+}
+
+// put stores val (which the cache takes ownership of — pass a copy) under
+// a fresh lease, overwriting any older entry. Nil-safe.
+func (rc *replicaCache) put(oid object.ID, val object.Value, ver object.Version) {
+	if rc == nil {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if old, ok := rc.entries[oid]; ok && ver.Less(old.ver) {
+		return // never replace a replica with an older version
+	}
+	rc.entries[oid] = replicaEntry{val: val, ver: ver, exp: time.Now().Add(rc.lease)}
+}
+
+// invalidate drops oid's entry (proven stale or ownership moved),
+// counting the eviction into m when an entry existed. Nil-safe.
+func (rc *replicaCache) invalidate(oid object.ID, m *Metrics) {
+	if rc == nil {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if _, ok := rc.entries[oid]; !ok {
+		return
+	}
+	delete(rc.entries, oid)
+	if m != nil {
+		m.replicaInvals.Add(1)
+	}
+}
+
+// len reports the live entry count (tests).
+func (rc *replicaCache) len() int {
+	if rc == nil {
+		return 0
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.entries)
+}

@@ -1,0 +1,222 @@
+package stm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dstm/internal/object"
+)
+
+func TestReplicaCacheTable(t *testing.T) {
+	oid := object.ID("rc/x")
+	v1 := object.Version{Clock: 1}
+	v2 := object.Version{Clock: 2}
+	cases := []struct {
+		name    string
+		lease   time.Duration
+		run     func(t *testing.T, rc *replicaCache, m *Metrics)
+		wantLen int
+		wantInv uint64
+	}{
+		{
+			name:  "hit within lease",
+			lease: time.Hour,
+			run: func(t *testing.T, rc *replicaCache, m *Metrics) {
+				rc.put(oid, &box{N: 7}, v1)
+				val, ver, ok := rc.get(oid, m)
+				if !ok || ver != v1 || val.(*box).N != 7 {
+					t.Fatalf("get = %v %v %v", val, ver, ok)
+				}
+			},
+			wantLen: 1,
+		},
+		{
+			name:  "lease expiry evicts at get",
+			lease: time.Nanosecond,
+			run: func(t *testing.T, rc *replicaCache, m *Metrics) {
+				rc.put(oid, &box{N: 7}, v1)
+				time.Sleep(2 * time.Millisecond)
+				if _, _, ok := rc.get(oid, m); ok {
+					t.Fatal("expired entry served")
+				}
+			},
+			wantLen: 0,
+			wantInv: 1,
+		},
+		{
+			name:  "older version never replaces newer",
+			lease: time.Hour,
+			run: func(t *testing.T, rc *replicaCache, m *Metrics) {
+				rc.put(oid, &box{N: 2}, v2)
+				rc.put(oid, &box{N: 1}, v1) // stale write-back must lose
+				val, ver, ok := rc.get(oid, m)
+				if !ok || ver != v2 || val.(*box).N != 2 {
+					t.Fatalf("stale put replaced newer entry: %v %v %v", val, ver, ok)
+				}
+			},
+			wantLen: 1,
+		},
+		{
+			name:  "newer version overwrites",
+			lease: time.Hour,
+			run: func(t *testing.T, rc *replicaCache, m *Metrics) {
+				rc.put(oid, &box{N: 1}, v1)
+				rc.put(oid, &box{N: 2}, v2)
+				_, ver, _ := rc.get(oid, m)
+				if ver != v2 {
+					t.Fatalf("ver = %v, want v2", ver)
+				}
+			},
+			wantLen: 1,
+		},
+		{
+			name:  "invalidate drops and counts",
+			lease: time.Hour,
+			run: func(t *testing.T, rc *replicaCache, m *Metrics) {
+				rc.put(oid, &box{N: 1}, v1)
+				rc.invalidate(oid, m)
+				rc.invalidate(oid, m) // second is a no-op, not double-counted
+				if _, _, ok := rc.get(oid, m); ok {
+					t.Fatal("invalidated entry served")
+				}
+			},
+			wantLen: 0,
+			wantInv: 1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rc := newReplicaCache(c.lease)
+			var m Metrics
+			c.run(t, rc, &m)
+			if got := rc.len(); got != c.wantLen {
+				t.Fatalf("len = %d, want %d", got, c.wantLen)
+			}
+			if got := m.replicaInvals.Load(); got != c.wantInv {
+				t.Fatalf("invals = %d, want %d", got, c.wantInv)
+			}
+		})
+	}
+}
+
+func TestReplicaCacheNilSafe(t *testing.T) {
+	var rc *replicaCache
+	rc.put("x", &box{}, object.Version{})
+	rc.invalidate("x", nil)
+	if _, _, ok := rc.get("x", nil); ok {
+		t.Fatal("nil cache served a value")
+	}
+	if rc.len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+}
+
+func TestReplicaCacheServesRepeatReads(t *testing.T) {
+	tc := newTestCluster(t, 2, nil, nil)
+	tc.rts[1].EnableReplicaCache(time.Hour)
+	ctx := context.Background()
+	if err := tc.rts[0].CreateRoot(ctx, "rc/r", &box{N: 4}); err != nil {
+		t.Fatal(err)
+	}
+	read := func() int64 {
+		t.Helper()
+		var got int64
+		if err := tc.rts[1].Atomic(ctx, "r", func(tx *Txn) error {
+			v, err := tx.Read(ctx, "rc/r")
+			if err != nil {
+				return err
+			}
+			got = v.(*box).N
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if got := read(); got != 4 {
+		t.Fatalf("first read %d", got)
+	}
+	before := tc.rts[1].Metrics().Snapshot()
+	if got := read(); got != 4 {
+		t.Fatalf("second read %d", got)
+	}
+	after := tc.rts[1].Metrics().Snapshot()
+	if after.ReplicaHits == before.ReplicaHits {
+		t.Fatal("second read did not hit the replica cache")
+	}
+	if after.Retrieves != before.Retrieves {
+		t.Fatal("cache hit still issued a retrieve RPC")
+	}
+}
+
+// TestReplicaCacheInvalidatedOnOwnershipChange: a cached replica goes stale
+// when another node takes ownership and commits; the next transaction that
+// reads through the cache must fail validation, evict the entry, and
+// converge on the new value.
+func TestReplicaCacheInvalidatedOnOwnershipChange(t *testing.T) {
+	tc := newTestCluster(t, 3, nil, nil)
+	tc.rts[1].EnableReplicaCache(time.Hour)
+	ctx := context.Background()
+	if err := tc.rts[0].CreateRoot(ctx, "rc/o", &box{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Warm node 1's cache.
+	if err := tc.rts[1].Atomic(ctx, "warm", func(tx *Txn) error {
+		_, err := tx.Read(ctx, "rc/o")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 writes: ownership moves and the version advances, so node 1's
+	// replica is stale AND mislocated.
+	if err := tc.rts[2].Atomic(ctx, "w", func(tx *Txn) error {
+		return tx.Write(ctx, "rc/o", &box{N: 50})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A writing transaction on node 1 reads through the stale replica; the
+	// commit-time version check must catch it and the retry must see 50.
+	if err := tc.rts[1].Atomic(ctx, "rw", func(tx *Txn) error {
+		v, err := tx.Read(ctx, "rc/o")
+		if err != nil {
+			return err
+		}
+		return tx.Write(ctx, "rc/o", &box{N: v.(*box).N + 1})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	if err := tc.rts[0].Atomic(ctx, "check", func(tx *Txn) error {
+		v, err := tx.Read(ctx, "rc/o")
+		if err != nil {
+			return err
+		}
+		got = v.(*box).N
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 51 {
+		t.Fatalf("final value %d, want 51 (stale replica must not win)", got)
+	}
+	m := tc.rts[1].Metrics().Snapshot()
+	if m.ReplicaInvals == 0 {
+		t.Fatal("stale replica was never invalidated")
+	}
+	if m.TotalAborts() == 0 {
+		t.Fatal("stale replica read committed without a validation abort")
+	}
+}
+
+func TestReplicaCacheDisabledByNonPositiveLease(t *testing.T) {
+	tc := newTestCluster(t, 1, nil, nil)
+	tc.rts[0].EnableReplicaCache(0)
+	if tc.rts[0].replica != nil {
+		t.Fatal("zero lease must disable the cache")
+	}
+	tc.rts[0].EnableReplicaCache(-time.Second)
+	if tc.rts[0].replica != nil {
+		t.Fatal("negative lease must disable the cache")
+	}
+}

@@ -116,7 +116,7 @@ func TestChaosTraceProtocolCheck(t *testing.T) {
 	opts := chaosOpts()
 	opts.Seed = 47
 	opts.Trace = true
-	opts.TraceCap = 1 << 19
+	opts.TraceCap = 1 << 21 // sized for busy-host goodput, as below
 	opts.MkPolicy = func() sched.Policy { return core.New(core.Options{CLThreshold: 3}) }
 	// A lease short enough to actually fire while a committer is crashed,
 	// so the trace exercises the lease-expiry invariant too.
@@ -276,4 +276,46 @@ func TestChaosOpenLoopZipfTraceOracle(t *testing.T) {
 	}
 	t.Logf("open loop: offered=%d shed=%d completed=%d trace-events=%d",
 		rep.Offered, rep.Shed, rep.Completed, rep.TraceEvents)
+}
+
+// TestChaosROSnapshotTraceOracle turns on the MVCC read path (plus the
+// replica cache) under the full adversarial stack: RO transactions at a
+// read-heavy mix, 15% loss with duplication/reordering and crash cycling,
+// RTS scheduler, tracing on. The merged trace must satisfy the full oracle
+// including I8 (every served snapshot read is the newest committed version
+// at or below the snapshot clock), and post-heal money stays conserved.
+func TestChaosROSnapshotTraceOracle(t *testing.T) {
+	opts := chaosOpts()
+	opts.Seed = 71
+	opts.ReadRatio = 0.6
+	opts.ROReads = true
+	opts.ReplicaLease = 100 * time.Millisecond
+	opts.Trace = true
+	opts.TraceCap = 1 << 21
+	opts.MkPolicy = func() sched.Policy { return core.New(core.Options{CLThreshold: 3}) }
+	opts.LockLease = 400 * time.Millisecond
+	cc := NewChaosCluster(t, opts)
+	rep, err := cc.Run(context.Background(), bank.New(bank.Options{AccountsPerNode: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireChaosHappened(t, rep)
+	if rep.Metrics.ReadOnlyCommits == 0 {
+		t.Fatal("no read-only commits; the RO mix never exercised the snapshot path")
+	}
+	if rep.Metrics.SnapReads == 0 {
+		t.Fatal("no snapshot reads served; RO transactions never crossed node boundaries")
+	}
+	if rep.TraceEvents == 0 {
+		t.Fatal("tracing enabled but no events recorded")
+	}
+	if rep.TraceDropped != 0 {
+		t.Fatalf("ring wrapped (%d dropped) — raise TraceCap so I8 runs", rep.TraceDropped)
+	}
+	if rep.ProtocolErr != nil {
+		t.Fatalf("protocol check (I1-I8) failed over %d events:\n%v", rep.TraceEvents, rep.ProtocolErr)
+	}
+	t.Logf("I1-I8 ok over %d events: ro-commits=%d snap-reads=%d upgrades=%d replica-hits=%d",
+		rep.TraceEvents, rep.Metrics.ReadOnlyCommits, rep.Metrics.SnapReads,
+		rep.Metrics.ROUpgrades, rep.Metrics.ReplicaHits)
 }

@@ -10,7 +10,10 @@
 #   perf   perf smokes: commit-pipeline msgs/commit bound, the
 #          zero-allocation wire-codec gate, the open-loop stability
 #          smoke, the wire experiment (writes results/BENCH_wire.json,
-#          gated on 0 allocs/op and >= 2x gob pump throughput), and a
+#          gated on 0 allocs/op and >= 2x gob pump throughput), the
+#          readscale experiment (writes results/BENCH_read.json, gated
+#          on the MVCC snapshot path beating the ownership baseline's
+#          read msgs per read-only commit at the 90%-read mix), and a
 #          3-process dstmnode open-loop bank smoke over real TCP
 #   fuzz   every fuzz target for CI_FUZZTIME each (differential
 #          gob <-> binary oracles included)
@@ -86,6 +89,13 @@ stage_perf() {
     go run ./cmd/rtsbench -experiment wire -duration 500ms \
         -wirejson results/BENCH_wire.json -wiregate
 
+    # MVCC read-path gate: at the 90%-read mix the snapshot read path must
+    # spend strictly fewer read RPCs per read-only commit than the ownership
+    # baseline, for every scheduler (results/BENCH_read.json).
+    echo "== readscale experiment (results/BENCH_read.json)"
+    go run ./cmd/rtsbench -experiment readscale -nodes 4 -workers 4 \
+        -duration 150ms -readjson results/BENCH_read.json -readgate
+
     # Multi-process smoke: a real 3-process cluster over loopback TCP,
     # driven open-loop, must complete with a clean conservation check.
     echo "== dstmnode 3-process open-loop smoke"
@@ -111,6 +121,8 @@ stage_fuzz() {
     go test ./internal/stm/ -fuzz FuzzCommitPushRoundTrip -fuzztime "$CI_FUZZTIME"
     go test ./internal/stm/ -fuzz FuzzAcquireCheckBatchRoundTrip -fuzztime "$CI_FUZZTIME"
     go test ./internal/stm/ -fuzz FuzzCommitObjBatchRoundTrip -fuzztime "$CI_FUZZTIME"
+    go test ./internal/stm/ -fuzz FuzzSnapshotReadRoundTrip -fuzztime "$CI_FUZZTIME"
+    go test ./internal/stm/ -fuzz FuzzSnapshotReadBatchRoundTrip -fuzztime "$CI_FUZZTIME"
     go test ./internal/cc/ -fuzz FuzzDirectoryBatchRoundTrip -fuzztime "$CI_FUZZTIME"
 }
 
